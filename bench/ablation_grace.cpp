@@ -1,0 +1,44 @@
+// Ablation — donor grace period (anti-thrash guard).
+//
+// DESIGN.md resolution: a subclass that just received a slab has had no
+// window to accumulate segment value, so without protection it is always
+// the globally cheapest donor and the slab bounces straight back out. The
+// paper names slab thrashing as the failure mode its weighted reference
+// segments guard against; at simulator scale an explicit grace period is
+// also needed. This sweep shows the collapse at grace 0 on the APP
+// workload (many active subclasses, deep tails) and the insensitivity to
+// the exact grace length once nonzero.
+#include "bench_common.hpp"
+
+#include "pamakv/util/csv.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+  const Bytes cache = kAppCaches[1];
+
+  CsvWriter csv(std::cout);
+  csv.WriteHeader({"grace_accesses", "hit_ratio", "avg_service_ms",
+                   "slab_migrations"});
+
+  for (const AccessClock grace : {0, 25'000, 100'000, 400'000}) {
+    SchemeOptions options;
+    options.pama.donor_grace_accesses = grace;
+    ExperimentRunner runner(SizeClassConfig{}, options, DefaultSimConfig());
+    auto trace = AppTrace(scale)();
+    const auto result = runner.RunOne("pama", cache, *trace, "app");
+    csv.WriteRow(grace, result.overall_hit_ratio,
+                 result.overall_avg_service_time_us / 1000.0,
+                 result.final_stats.slab_migrations);
+    std::fprintf(stderr, "# grace=%-7llu hit=%.3f avg=%.2fms migr=%llu\n",
+                 static_cast<unsigned long long>(grace),
+                 result.overall_hit_ratio,
+                 result.overall_avg_service_time_us / 1000.0,
+                 static_cast<unsigned long long>(
+                     result.final_stats.slab_migrations));
+  }
+  return 0;
+}

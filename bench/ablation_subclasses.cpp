@@ -1,0 +1,53 @@
+// Ablation — number of penalty-band subclasses.
+//
+// The paper fixes five bands ((0,1ms] .. (1s,5s]). This sweep varies the
+// band count: 1 band makes PAMA penalty-aware only through ghost values;
+// more bands separate items of different miss cost into their own LRU
+// stacks at the price of more stacks and more slab fragmentation.
+#include "bench_common.hpp"
+
+#include "pamakv/util/csv.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+  const Bytes cache = kEtcCaches[1];
+
+  struct BandSet {
+    const char* name;
+    std::vector<MicroSecs> bounds;
+  };
+  const BandSet sets[] = {
+      {"1-band", {5'000'000}},
+      {"2-bands", {100'000, 5'000'000}},
+      {"3-bands", {10'000, 1'000'000, 5'000'000}},
+      {"5-bands(paper)", {1'000, 10'000, 100'000, 1'000'000, 5'000'000}},
+      {"8-bands",
+       {500, 2'000, 10'000, 50'000, 200'000, 1'000'000, 2'500'000, 5'000'000}},
+  };
+
+  CsvWriter csv(std::cout);
+  csv.WriteHeader({"bands", "hit_ratio", "avg_service_ms", "per_miss_ms",
+                   "slab_migrations"});
+
+  for (const auto& set : sets) {
+    SchemeOptions options;
+    options.pama_bands = set.bounds;
+    ExperimentRunner runner(SizeClassConfig{}, options, DefaultSimConfig());
+    auto trace = EtcTrace(scale)();
+    const auto result = runner.RunOne("pama", cache, *trace, "etc");
+    const double per_miss =
+        static_cast<double>(result.final_stats.miss_penalty_total_us) /
+        static_cast<double>(result.final_stats.get_misses) / 1000.0;
+    csv.WriteRow(set.name, result.overall_hit_ratio,
+                 result.overall_avg_service_time_us / 1000.0, per_miss,
+                 result.final_stats.slab_migrations);
+    std::fprintf(stderr, "# %-15s hit=%.3f avg=%.2fms per-miss=%.1fms\n",
+                 set.name, result.overall_hit_ratio,
+                 result.overall_avg_service_time_us / 1000.0, per_miss);
+  }
+  return 0;
+}

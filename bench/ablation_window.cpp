@@ -1,0 +1,47 @@
+// Ablation — value-window length and cross-window decay.
+//
+// The paper keeps per-window (tumbling) segment values and warns that
+// fast-changing values cause slab thrashing. At simulator scale (64 KiB
+// slabs) a pure reset leaves most candidate values at zero, which makes
+// the min-outgoing donor effectively random; carrying a decayed fraction
+// across windows densifies the signal (DESIGN.md, resolution 4). This
+// sweep shows both effects: decay 0 (the literal paper rule) vs
+// exponential carry-over, across window lengths.
+#include "bench_common.hpp"
+
+#include "pamakv/util/csv.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+  const Bytes cache = kEtcCaches[0];
+
+  CsvWriter csv(std::cout);
+  csv.WriteHeader({"window_accesses", "value_decay", "hit_ratio",
+                   "avg_service_ms", "slab_migrations"});
+
+  for (const AccessClock window : {25'000, 100'000, 400'000}) {
+    for (const double decay : {0.0, 0.5, 0.9}) {
+      SchemeOptions options;
+      options.pama.window_accesses = window;
+      options.pama.value_decay = decay;
+      ExperimentRunner runner(SizeClassConfig{}, options, DefaultSimConfig());
+      auto trace = EtcTrace(scale)();
+      const auto result = runner.RunOne("pama", cache, *trace, "etc");
+      csv.WriteRow(window, decay, result.overall_hit_ratio,
+                   result.overall_avg_service_time_us / 1000.0,
+                   result.final_stats.slab_migrations);
+      std::fprintf(stderr,
+                   "# window=%-7llu decay=%.1f hit=%.3f avg=%.2fms migr=%llu\n",
+                   static_cast<unsigned long long>(window), decay,
+                   result.overall_hit_ratio,
+                   result.overall_avg_service_time_us / 1000.0,
+                   static_cast<unsigned long long>(
+                       result.final_stats.slab_migrations));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every bench reproduces one figure of the paper at simulator scale:
+// the ETC cache points 24/48/96 MB stand in for the paper's 4/8/16 GB and
+// the APP points 128/256/512 MB for 16/32/64 GB (same cache-to-working-set
+// pressure; DESIGN.md, substitutions). PAMA_BENCH_SCALE multiplies request
+// counts (default 0.25 for quick runs; 1.0 reproduces EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pamakv/sim/experiment.hpp"
+#include "pamakv/trace/generators.hpp"
+#include "pamakv/util/arg_parser.hpp"
+
+namespace pamakv::bench {
+
+inline constexpr Bytes kMB = 1024ULL * 1024;
+
+/// ETC cache points (paper: 4/8/16 GB).
+inline constexpr Bytes kEtcCaches[] = {24 * kMB, 48 * kMB, 96 * kMB};
+/// APP cache points (paper: 16/32/64 GB). 1 GB at 64 KiB slabs equals the
+/// paper's 16 GB at 1 MiB slabs in slab count (16384); the smaller points
+/// scale the pressure. Below ~4096 slabs PAMA's 60 subclasses cannot be
+/// provisioned at slab granularity, which the paper's sizes never hit.
+inline constexpr Bytes kAppCaches[] = {256 * kMB, 512 * kMB, 1024 * kMB};
+
+/// Baseline request counts at scale 1.0.
+inline constexpr std::uint64_t kEtcRequests = 6'000'000;
+inline constexpr std::uint64_t kAppRequestsPerPass = 3'000'000;
+
+[[nodiscard]] inline std::uint64_t Scaled(std::uint64_t requests,
+                                          double scale) {
+  const auto scaled = static_cast<std::uint64_t>(
+      static_cast<double>(requests) * scale);
+  return std::max<std::uint64_t>(scaled, 200'000);
+}
+
+/// The four schemes the paper's figures compare.
+[[nodiscard]] inline std::vector<std::string> PaperSchemes() {
+  return {"memcached", "psa", "pre-pama", "pama"};
+}
+
+[[nodiscard]] inline SimConfig DefaultSimConfig() {
+  SimConfig cfg;
+  cfg.window_gets = 100'000;  // the paper plots per 10^6-GET windows
+  cfg.capture_class_slabs = true;
+  return cfg;
+}
+
+/// ETC trace factory at the given scale.
+[[nodiscard]] inline ExperimentRunner::TraceFactory EtcTrace(double scale) {
+  return [scale] {
+    return std::make_unique<SyntheticTrace>(
+        EtcWorkload(Scaled(kEtcRequests, scale)));
+  };
+}
+
+/// APP trace factory: one pass replayed twice, as in Sec. IV-B.
+[[nodiscard]] inline ExperimentRunner::TraceFactory AppTrace(double scale) {
+  return [scale] {
+    return std::make_unique<RepeatedTrace>(
+        std::make_unique<SyntheticTrace>(
+            AppWorkload(Scaled(kAppRequestsPerPass, scale))),
+        2);
+  };
+}
+
+/// Prints the standard window series for a batch of results.
+inline void PrintWindowSeries(const std::vector<SimResult>& results) {
+  bool header = true;
+  for (const auto& r : results) {
+    WriteWindowCsv(std::cout, r, header);
+    header = false;
+  }
+}
+
+/// Prints a one-line final summary per result.
+inline void PrintSummaries(const std::vector<SimResult>& results) {
+  for (const auto& r : results) {
+    const double per_miss =
+        r.final_stats.get_misses
+            ? static_cast<double>(r.final_stats.miss_penalty_total_us) /
+                  static_cast<double>(r.final_stats.get_misses) / 1000.0
+            : 0.0;
+    std::fprintf(
+        stderr,
+        "# %-12s %-4s cache=%4.0fMB hit=%.3f avg=%7.2fms per-miss=%6.1fms "
+        "migrations=%lu wall=%.1fs\n",
+        r.scheme.c_str(), r.workload.c_str(),
+        static_cast<double>(r.cache_bytes) / static_cast<double>(kMB),
+        r.overall_hit_ratio, r.overall_avg_service_time_us / 1000.0, per_miss,
+        static_cast<unsigned long>(r.final_stats.slab_migrations),
+        r.wall_seconds);
+  }
+}
+
+}  // namespace pamakv::bench

@@ -1,0 +1,32 @@
+// Fig. 3 — per-class slab allocation over time in a 4 GB-class cache under
+// (a) original Memcached, (b) PSA, (c) pre-PAMA and (d) PAMA, on ETC.
+//
+// Expected shapes: Memcached freezes its warm-up allocation; PSA lets
+// class 0 grab the bulk of the cache; pre-PAMA does the same more
+// gradually; PAMA spreads space far more evenly because high-penalty
+// subclasses of larger classes retain slabs.
+#include "bench_common.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+  const Bytes cache = kEtcCaches[0];  // the paper's 4 GB point
+
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{},
+                          DefaultSimConfig());
+  std::vector<ExperimentCell> cells;
+  for (const auto& scheme : PaperSchemes()) cells.push_back({scheme, cache});
+
+  const auto results = runner.RunGrid(cells, EtcTrace(scale), "etc", 2);
+
+  bool header = true;
+  for (const auto& r : results) {
+    WriteClassSlabCsv(std::cout, r, header);
+    header = false;
+  }
+  PrintSummaries(results);
+  return 0;
+}

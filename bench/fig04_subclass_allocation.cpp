@@ -1,0 +1,41 @@
+// Fig. 4 — PAMA's space allocation across penalty-band subclasses within
+// example classes (the paper shows class 0 and class 8) on ETC.
+//
+// Expected shape: small-item classes lose space from their low-penalty
+// subclasses while larger classes' high-penalty subclasses gain, which is
+// why PAMA's class-level allocation (Fig. 3d) looks so even.
+#include "bench_common.hpp"
+
+#include "pamakv/util/csv.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+  const Bytes cache = kEtcCaches[0];
+
+  SimConfig sim_cfg = DefaultSimConfig();
+  sim_cfg.capture_subclass_items = true;
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{}, sim_cfg);
+
+  auto trace = EtcTrace(scale)();
+  auto result = runner.RunOne("pama", cache, *trace, "etc");
+
+  CsvWriter csv(std::cout);
+  csv.WriteHeader({"scheme", "window", "class", "subclass", "slabs", "items"});
+  const std::uint32_t subs = 5;  // the paper's five penalty bands
+  for (const auto& w : result.windows) {
+    for (const ClassId cls : {ClassId{0}, ClassId{8}}) {
+      const std::size_t base = static_cast<std::size_t>(cls) * subs;
+      if (base + subs > w.subclass_slabs.size()) continue;
+      for (std::uint32_t s = 0; s < subs; ++s) {
+        csv.WriteRow(result.scheme, w.window_index, cls, s,
+                     w.subclass_slabs[base + s], w.subclass_items[base + s]);
+      }
+    }
+  }
+  PrintSummaries({result});
+  return 0;
+}

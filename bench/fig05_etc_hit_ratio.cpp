@@ -1,0 +1,26 @@
+// Fig. 5 — ETC hit ratio over time at the 4/8/16 GB-class cache points for
+// Memcached, PSA, pre-PAMA and PAMA.
+//
+// Expected shape: pre-PAMA highest, PSA close behind, PAMA below both
+// (it deliberately trades hit ratio), original Memcached lowest; the
+// ordering tightens as the cache grows.
+#include "bench_common.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{},
+                          DefaultSimConfig());
+  std::vector<ExperimentCell> cells;
+  for (const Bytes cache : kEtcCaches) {
+    for (const auto& scheme : PaperSchemes()) cells.push_back({scheme, cache});
+  }
+  const auto results = runner.RunGrid(cells, EtcTrace(scale), "etc", 2);
+  PrintWindowSeries(results);
+  PrintSummaries(results);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 6 — ETC average GET service time over time at the 4/8/16 GB-class
+// cache points.
+//
+// Expected shape: PAMA lowest everywhere despite its lower hit ratio; the
+// advantage is largest at the smallest cache, where misses are plentiful
+// and PAMA steers them onto low-penalty items.
+#include "bench_common.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{},
+                          DefaultSimConfig());
+  std::vector<ExperimentCell> cells;
+  for (const Bytes cache : kEtcCaches) {
+    for (const auto& scheme : PaperSchemes()) cells.push_back({scheme, cache});
+  }
+  const auto results = runner.RunGrid(cells, EtcTrace(scale), "etc", 2);
+  PrintWindowSeries(results);
+  PrintSummaries(results);
+
+  // The figure's headline: PAMA vs the others at each cache point.
+  for (const Bytes cache : kEtcCaches) {
+    double pama = 0.0;
+    double memcached = 0.0;
+    double psa = 0.0;
+    for (const auto& r : results) {
+      if (r.cache_bytes != cache) continue;
+      if (r.scheme == "pama") pama = r.overall_avg_service_time_us;
+      if (r.scheme == "memcached") memcached = r.overall_avg_service_time_us;
+      if (r.scheme == "psa") psa = r.overall_avg_service_time_us;
+    }
+    std::fprintf(stderr,
+                 "# cache=%3.0fMB: PAMA time = %.0f%% of Memcached's, %.0f%% "
+                 "of PSA's\n",
+                 static_cast<double>(cache) / static_cast<double>(kMB),
+                 100.0 * pama / memcached, 100.0 * pama / psa);
+  }
+  return 0;
+}

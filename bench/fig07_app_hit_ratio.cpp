@@ -1,0 +1,26 @@
+// Fig. 7 — APP hit ratio over time at the 16/32/64 GB-class cache points,
+// with the trace replayed in the second half (Sec. IV-B: the repeat
+// removes cold misses and highlights the schemes' differences).
+//
+// Expected shape: pre-PAMA/PSA best and improving in the repeat half;
+// PAMA below them; Memcached flat and lowest of the reallocators' group.
+#include "bench_common.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{},
+                          DefaultSimConfig());
+  std::vector<ExperimentCell> cells;
+  for (const Bytes cache : kAppCaches) {
+    for (const auto& scheme : PaperSchemes()) cells.push_back({scheme, cache});
+  }
+  const auto results = runner.RunGrid(cells, AppTrace(scale), "app", 2);
+  PrintWindowSeries(results);
+  PrintSummaries(results);
+  return 0;
+}

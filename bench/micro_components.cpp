@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the per-request building blocks:
+// order-statistic LRU stack, ghost list, Bloom filters, hash index, Zipf
+// sampling, and the full engine GET/SET path. These bound the simulator's
+// cost per operation and document the O(log n) / O(1) claims.
+#include <benchmark/benchmark.h>
+
+#include "pamakv/bloom/bloom_filter.hpp"
+#include "pamakv/cache/hash_index.hpp"
+#include "pamakv/ds/ghost_list.hpp"
+#include "pamakv/ds/lru_stack.hpp"
+#include "pamakv/sim/experiment.hpp"
+#include "pamakv/trace/generators.hpp"
+#include "pamakv/util/rng.hpp"
+#include "pamakv/util/zipf.hpp"
+
+namespace pamakv {
+namespace {
+
+void BM_LruStackPushErase(benchmark::State& state) {
+  LruStack stack;
+  std::vector<LruStack::Node*> nodes;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (ItemHandle i = 0; i < n; ++i) nodes.push_back(stack.PushTop(i));
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::size_t i = rng.NextBounded(nodes.size());
+    stack.MoveToTop(nodes[i]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruStackPushErase)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_LruStackRank(benchmark::State& state) {
+  LruStack stack;
+  std::vector<LruStack::Node*> nodes;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (ItemHandle i = 0; i < n; ++i) nodes.push_back(stack.PushTop(i));
+  Rng rng(2);
+  std::size_t sum = 0;
+  for (auto _ : state) {
+    sum += stack.RankFromBottom(nodes[rng.NextBounded(nodes.size())]);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruStackRank)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_GhostListPushLookup(benchmark::State& state) {
+  GhostList ghost(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    const KeyId key = rng.NextBounded(1 << 20);
+    ghost.Push(key, 1000);
+    benchmark::DoNotOptimize(ghost.Lookup(rng.NextBounded(1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GhostListPushLookup)->Arg(1'024)->Arg(16'384);
+
+void BM_BloomAddQuery(benchmark::State& state) {
+  BloomFilter filter(static_cast<std::size_t>(state.range(0)), 0.01);
+  Rng rng(4);
+  bool hit = false;
+  for (auto _ : state) {
+    const KeyId key = rng.NextBounded(1 << 22);
+    filter.Add(key);
+    hit ^= filter.MayContain(key + 1);
+  }
+  benchmark::DoNotOptimize(hit);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAddQuery)->Arg(4'096)->Arg(65'536);
+
+void BM_HashIndexChurn(benchmark::State& state) {
+  HashIndex index;
+  Rng rng(5);
+  for (auto _ : state) {
+    const KeyId key = rng.NextBounded(1 << 20);
+    index.Upsert(key, 1);
+    benchmark::DoNotOptimize(index.Find(key ^ 1));
+    if ((key & 7) == 0) index.Erase(key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexChurn);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1'000'000, 1.0);
+  Rng rng(6);
+  std::uint64_t sum = 0;
+  for (auto _ : state) sum += zipf.Sample(rng);
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_EngineGetSet(benchmark::State& state) {
+  const std::string scheme = state.range(0) == 0 ? "memcached" : "pama";
+  auto engine = MakeEngine(scheme, 64ULL * 1024 * 1024, SizeClassConfig{});
+  auto cfg = EtcWorkload(1'000'000);
+  SyntheticTrace trace(cfg);
+  Request request;
+  for (auto _ : state) {
+    if (!trace.Next(request)) {
+      trace.Reset();
+      trace.Next(request);
+    }
+    if (request.op == Op::kGet) {
+      const auto r = engine->Get(request.key, request.size, request.penalty_us);
+      if (!r.hit) engine->Set(request.key, request.size, request.penalty_us);
+    } else if (request.op == Op::kSet) {
+      engine->Set(request.key, request.size, request.penalty_us);
+    } else {
+      engine->Del(request.key);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(scheme);
+}
+BENCHMARK(BM_EngineGetSet)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace pamakv
+
+BENCHMARK_MAIN();

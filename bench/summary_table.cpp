@@ -1,0 +1,66 @@
+// Summary table — the paper's in-text quantitative claims in one place:
+// final hit ratio, average service time and per-miss penalty for every
+// scheme (including the ones the paper discusses but does not plot) on the
+// headline ETC and APP points, plus the PAMA-vs-baseline time ratios.
+#include "bench_common.hpp"
+
+#include "pamakv/util/csv.hpp"
+
+using namespace pamakv;
+using namespace pamakv::bench;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = args.GetDouble("scale", BenchScaleFromEnv());
+  const bool with_extensions = args.GetBool("extensions", true);
+
+  std::vector<std::string> schemes = {"memcached", "psa",      "twemcache",
+                                      "facebook-age", "pre-pama", "pama"};
+  if (with_extensions) {
+    schemes.push_back("pama-exact");
+    schemes.push_back("lama-hr");
+    schemes.push_back("lama-st");
+  }
+
+  CsvWriter csv(std::cout);
+  csv.WriteHeader({"workload", "scheme", "cache_mb", "hit_ratio",
+                   "avg_service_ms", "per_miss_ms", "evictions",
+                   "slab_migrations"});
+
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{},
+                          DefaultSimConfig());
+
+  for (const std::string workload : {"etc", "app"}) {
+    const Bytes cache = workload == "etc" ? kEtcCaches[1] : kAppCaches[1];
+    std::vector<ExperimentCell> cells;
+    for (const auto& scheme : schemes) cells.push_back({scheme, cache});
+    const auto results = runner.RunGrid(
+        cells, workload == "etc" ? EtcTrace(scale) : AppTrace(scale),
+        workload, 2);
+
+    double memcached_time = 0.0;
+    double psa_time = 0.0;
+    double pama_time = 0.0;
+    for (const auto& r : results) {
+      const double per_miss =
+          r.final_stats.get_misses
+              ? static_cast<double>(r.final_stats.miss_penalty_total_us) /
+                    static_cast<double>(r.final_stats.get_misses) / 1000.0
+              : 0.0;
+      csv.WriteRow(workload, r.scheme,
+                   static_cast<double>(cache) / static_cast<double>(kMB),
+                   r.overall_hit_ratio,
+                   r.overall_avg_service_time_us / 1000.0, per_miss,
+                   r.final_stats.evictions, r.final_stats.slab_migrations);
+      if (r.scheme == "memcached") memcached_time = r.overall_avg_service_time_us;
+      if (r.scheme == "psa") psa_time = r.overall_avg_service_time_us;
+      if (r.scheme == "pama") pama_time = r.overall_avg_service_time_us;
+    }
+    std::fprintf(stderr,
+                 "# %s: PAMA service time = %.0f%% of Memcached's, %.0f%% of "
+                 "PSA's (paper reports 36%%/67%% for APP@16GB full run)\n",
+                 workload.c_str(), 100.0 * pama_time / memcached_time,
+                 100.0 * pama_time / psa_time);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Burst study: how a cache scheme rides out a flood of unpopular items —
+// the scenario of the paper's Sec. IV-C, runnable against any scheme.
+//
+//   $ ./example_burst_study --scheme psa
+//   $ ./example_burst_study --scheme pama --burst-pct 25
+#include <cstdio>
+#include <iostream>
+
+#include "pamakv/sim/experiment.hpp"
+#include "pamakv/trace/generators.hpp"
+#include "pamakv/trace/injector.hpp"
+#include "pamakv/util/arg_parser.hpp"
+
+using namespace pamakv;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const std::string scheme = args.GetString("scheme", "pama");
+  const Bytes cache =
+      static_cast<Bytes>(args.GetInt("cache-mb", 24)) * 1024 * 1024;
+  const auto requests =
+      static_cast<std::uint64_t>(args.GetInt("requests", 1'500'000));
+  const double burst_pct = args.GetDouble("burst-pct", 10.0);
+
+  SimConfig sim_cfg;
+  sim_cfg.window_gets = 50'000;
+  ExperimentRunner runner(SizeClassConfig{}, SchemeOptions{}, sim_cfg);
+
+  // Baseline run, then the same workload with a cold burst spliced in.
+  SimResult results[2];
+  for (const int with_burst : {0, 1}) {
+    std::unique_ptr<TraceSource> trace =
+        std::make_unique<SyntheticTrace>(EtcWorkload(requests));
+    if (with_burst) {
+      ColdBurstConfig burst;
+      burst.after_gets = requests / 20;
+      burst.total_bytes =
+          static_cast<Bytes>(static_cast<double>(cache) * burst_pct / 100.0);
+      burst.impacted_classes = {2, 3, 4};
+      trace = std::make_unique<ColdBurstInjector>(std::move(trace), burst,
+                                                  SizeClassConfig{});
+    }
+    results[with_burst] = runner.RunOne(scheme, cache, *trace, "etc");
+  }
+
+  std::printf("window, hit_no_burst, hit_with_burst, avg_ms_no_burst, "
+              "avg_ms_with_burst\n");
+  const std::size_t n =
+      std::min(results[0].windows.size(), results[1].windows.size());
+  double worst_drop = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = results[0].windows[i];
+    const auto& b = results[1].windows[i];
+    std::printf("%zu, %.4f, %.4f, %.3f, %.3f\n", i, a.hit_ratio, b.hit_ratio,
+                a.avg_service_time_us / 1000.0,
+                b.avg_service_time_us / 1000.0);
+    worst_drop = std::max(worst_drop, a.hit_ratio - b.hit_ratio);
+  }
+  std::fprintf(stderr,
+               "%s: burst of %.0f%% of the cache -> worst window hit-ratio "
+               "drop %.3f; overall avg %.2f -> %.2f ms\n",
+               scheme.c_str(), burst_pct, worst_drop,
+               results[0].overall_avg_service_time_us / 1000.0,
+               results[1].overall_avg_service_time_us / 1000.0);
+  return 0;
+}

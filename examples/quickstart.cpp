@@ -1,0 +1,60 @@
+// Quickstart: build a PAMA-managed cache, exercise GET/SET/DEL, and read
+// the stats — the minimal tour of the public API.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "pamakv/sim/experiment.hpp"
+
+using namespace pamakv;
+
+int main() {
+  // A 16 MiB cache with the paper's five penalty bands, managed by PAMA.
+  // MakeEngine wires the engine and policy; constructing CacheEngine with a
+  // std::make_unique<PamaPolicy>(...) directly works the same way.
+  auto cache = MakeEngine("pama", 16ULL * 1024 * 1024, SizeClassConfig{});
+
+  // SET: key, value size in bytes, and the miss penalty you measured for
+  // this key (how long the backend takes to recompute it).
+  cache->Set(/*key=*/1001, /*size=*/120, /*penalty=*/25'000 /*25 ms*/);
+  cache->Set(1002, 4'096, 800'000 /*0.8 s — expensive to recompute*/);
+
+  // GET: pass the size + penalty so a miss can be routed and charged; a
+  // real deployment takes them from its backend instrumentation.
+  const GetResult hit = cache->Get(1001, 120, 25'000);
+  std::printf("GET 1001 -> %s (service time %lld us)\n",
+              hit.hit ? "HIT" : "MISS",
+              static_cast<long long>(hit.service_time_us));
+
+  const GetResult miss = cache->Get(9999, 64, 50'000);
+  std::printf("GET 9999 -> %s (service time %lld us)\n",
+              miss.hit ? "HIT" : "MISS",
+              static_cast<long long>(miss.service_time_us));
+
+  // Write-allocate after the miss, Memcached style.
+  cache->Set(9999, 64, 50'000);
+  std::printf("GET 9999 -> %s after write-allocate\n",
+              cache->Get(9999, 64, 50'000).hit ? "HIT" : "MISS");
+
+  cache->Del(1001);
+  std::printf("GET 1001 -> %s after DEL\n",
+              cache->Get(1001, 120, 25'000).hit ? "HIT" : "MISS");
+
+  const CacheStats& stats = cache->stats();
+  std::printf(
+      "\nstats: %llu gets, %llu hits, %llu misses, hit ratio %.2f,\n"
+      "       avg service time %.2f ms, %llu evictions, %llu slab "
+      "migrations\n",
+      static_cast<unsigned long long>(stats.gets),
+      static_cast<unsigned long long>(stats.get_hits),
+      static_cast<unsigned long long>(stats.get_misses), stats.HitRatio(),
+      stats.AvgServiceTimeUs(cache->hit_time_us()) / 1000.0,
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.slab_migrations));
+
+  std::printf("cache: %zu items in %zu slabs (%zu free)\n",
+              cache->item_count(),
+              cache->pool().total_slabs() - cache->pool().free_slabs(),
+              cache->pool().free_slabs());
+  return 0;
+}

@@ -1,0 +1,186 @@
+// CacheEngine: the Memcached-style slab cache the paper's schemes manage.
+//
+// The engine owns the mechanics — size classes, penalty-band subclasses,
+// per-subclass LRU stacks and ghost lists, the item table, the hash index,
+// and slab/slot accounting — and delegates every *allocation decision* to a
+// pluggable AllocationPolicy. The division of labor mirrors the paper:
+// Sec. II's schemes (original Memcached, PSA, Twemcache, Facebook
+// age-balancing) and Sec. III's PAMA are all policies over the same
+// substrate, differing only in when and where slabs move.
+//
+// Semantics:
+//  * Get(key): hit promotes the item to the top of its subclass stack.
+//    A miss returns the caller the responsibility to fetch + Set — the
+//    simulator write-allocates, matching the paper's assumption that a GET
+//    miss is immediately followed by a SET of the same key.
+//  * Set(key, size, penalty): routes to class = size class of `size`,
+//    subclass = penalty band of `penalty`. If the class has no free slot
+//    the engine asks the free pool first and the policy second (MakeRoom).
+//    Memcached-compatible: a SET whose space cannot be found fails.
+//  * Del(key): removes the item (and any ghost entry).
+//
+// Logical time is the count of requests processed ("accesses"), which is
+// how the paper defines PAMA's windows.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "pamakv/cache/hash_index.hpp"
+#include "pamakv/cache/item.hpp"
+#include "pamakv/cache/penalty_bands.hpp"
+#include "pamakv/cache/stats.hpp"
+#include "pamakv/ds/ghost_list.hpp"
+#include "pamakv/ds/lru_stack.hpp"
+#include "pamakv/slab/slab_pool.hpp"
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class AllocationPolicy;
+
+struct EngineConfig {
+  SizeClassConfig size_classes;
+  /// Penalty-band bounds (µs). Empty => single subclass per class.
+  std::vector<MicroSecs> penalty_band_bounds;
+  Bytes capacity_bytes = 64ULL * 1024 * 1024;
+  /// Service time charged to a hit (µs); the paper treats hits as free
+  /// relative to multi-millisecond misses.
+  MicroSecs hit_time_us = 0;
+  /// Ghost list length per subclass, in units of that class's slots-per-
+  /// slab. PAMA with m reference segments needs at least m + 1.
+  std::uint32_t ghost_segments = 4;
+  /// Seed for the engine's internal randomized structures.
+  std::uint64_t seed = 42;
+};
+
+struct GetResult {
+  bool hit = false;
+  /// Service time charged for this request (hit cost or miss penalty), µs.
+  MicroSecs service_time_us = 0;
+};
+
+struct SetResult {
+  bool stored = false;
+  bool updated = false;  ///< overwrote an existing entry for the key
+};
+
+class CacheEngine {
+ public:
+  CacheEngine(const EngineConfig& config, std::unique_ptr<AllocationPolicy> policy);
+  ~CacheEngine();
+
+  CacheEngine(const CacheEngine&) = delete;
+  CacheEngine& operator=(const CacheEngine&) = delete;
+
+  /// GET. On a miss, `miss_penalty` (from the trace / penalty model) is the
+  /// service time the user experiences; it is charged to the stats. `size`
+  /// is the size of the value being requested — the trace knows it, and the
+  /// engine needs it to route the miss to the ghost list of the class/
+  /// subclass the item would occupy.
+  GetResult Get(KeyId key, Bytes size, MicroSecs miss_penalty);
+
+  /// SET of an item with the given size and per-key miss penalty.
+  SetResult Set(KeyId key, Bytes size, MicroSecs penalty);
+
+  /// DELETE. Returns true if the key was cached.
+  bool Del(KeyId key);
+
+  [[nodiscard]] bool Contains(KeyId key) const noexcept {
+    return index_.Find(key) != kInvalidHandle;
+  }
+
+  // ---- Introspection (stats, figures, tests) ----
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] AccessClock clock() const noexcept { return clock_; }
+  [[nodiscard]] const SlabPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] const SizeClassTable& classes() const noexcept { return classes_; }
+  [[nodiscard]] const PenaltyBandTable& bands() const noexcept { return bands_; }
+  [[nodiscard]] std::uint32_t num_subclasses() const noexcept { return bands_.num_bands(); }
+  [[nodiscard]] std::size_t item_count() const noexcept { return index_.size(); }
+  [[nodiscard]] MicroSecs hit_time_us() const noexcept { return hit_time_us_; }
+
+  /// Items currently in subclass (c, s) — fig. 4's per-subclass share.
+  [[nodiscard]] std::size_t SubclassItemCount(ClassId c, SubclassId s) const {
+    return StackOf(c, s).size();
+  }
+
+  // ---- Policy-facing mechanics ----
+  // These are the primitive moves policies compose. They are public rather
+  // than friend-scoped so user-defined policies (examples/custom_policy)
+  // can build on them too.
+
+  [[nodiscard]] LruStack& StackOf(ClassId c, SubclassId s) {
+    return stacks_[StackIndex(c, s)];
+  }
+  [[nodiscard]] const LruStack& StackOf(ClassId c, SubclassId s) const {
+    return stacks_[StackIndex(c, s)];
+  }
+  [[nodiscard]] GhostList& GhostOf(ClassId c, SubclassId s) {
+    return ghosts_[StackIndex(c, s)];
+  }
+  [[nodiscard]] const GhostList& GhostOf(ClassId c, SubclassId s) const {
+    return ghosts_[StackIndex(c, s)];
+  }
+  [[nodiscard]] const Item& ItemAt(ItemHandle h) const { return items_[h]; }
+
+  /// Evicts the LRU item of subclass (c, s). The key goes to the subclass
+  /// ghost list. Returns false if the stack is empty.
+  bool EvictBottom(ClassId c, SubclassId s);
+
+  /// Evicts the class-wide LRU item (oldest last_access across subclass
+  /// bottoms). Returns false if the class holds no item.
+  bool EvictClassLru(ClassId c);
+
+  /// Evicts items from (from_c, from_s)'s bottom until that subclass can
+  /// release a whole slab, then transfers the slab to (to_c, to_s).
+  /// Returns false if the subclass cannot supply enough items.
+  bool MigrateSlab(ClassId from_c, SubclassId from_s, ClassId to_c,
+                   SubclassId to_s);
+
+  /// Class-granular variant of MigrateSlab for single-stack policies:
+  /// evicts class-wide LRU items from from_c until some subclass of it can
+  /// release a slab, then transfers it to (to_c, to_s). Returns false if
+  /// from_c cannot supply one. With one penalty band (how all non-PAMA
+  /// policies run) this is exactly per-class migration.
+  bool MigrateSlabClassLru(ClassId from_c, ClassId to_c, SubclassId to_s = 0);
+
+  /// last_access of the class-wide LRU item; nullopt when the class is empty.
+  [[nodiscard]] std::optional<AccessClock> OldestAccess(ClassId c) const;
+
+  /// Number of items that must leave subclass (c, s) so class c can free a
+  /// slab, or nullopt if (c, s) cannot supply them.
+  [[nodiscard]] std::optional<std::size_t> EvictionsToFreeSlab(ClassId c,
+                                                               SubclassId s) const;
+
+  [[nodiscard]] AllocationPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] const AllocationPolicy& policy() const noexcept { return *policy_; }
+
+ private:
+  [[nodiscard]] std::size_t StackIndex(ClassId c, SubclassId s) const noexcept {
+    return static_cast<std::size_t>(c) * bands_.num_bands() + s;
+  }
+  ItemHandle AllocateItem();
+  void ReleaseItem(ItemHandle h) noexcept;
+  /// Removes an item from index/stack/slots. ghost=true records it in the
+  /// subclass ghost list (evictions do; explicit DELs do not).
+  void RemoveItem(ItemHandle h, bool to_ghost);
+  /// Obtains a free slot in class c, invoking the policy when needed.
+  [[nodiscard]] bool ObtainSlot(ClassId c, SubclassId s);
+
+  SizeClassTable classes_;
+  PenaltyBandTable bands_;
+  SlabPool pool_;
+  HashIndex index_;
+  std::deque<Item> items_;
+  std::vector<ItemHandle> free_items_;
+  std::vector<LruStack> stacks_;
+  std::vector<GhostList> ghosts_;
+  std::unique_ptr<AllocationPolicy> policy_;
+  CacheStats stats_;
+  AccessClock clock_ = 0;
+  MicroSecs hit_time_us_;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,54 @@
+// Open-addressing hash index: KeyId -> ItemHandle.
+//
+// Linear probing with backward-shift deletion (no tombstones), power-of-two
+// capacity, and splitmix finalizer hashing so that sequential synthetic key
+// ids spread uniformly. This is the cache's single point of key lookup and
+// sits on the hot path of every request, hence a purpose-built flat table
+// rather than std::unordered_map.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pamakv/util/rng.hpp"
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class HashIndex {
+ public:
+  explicit HashIndex(std::size_t initial_capacity = 1024);
+
+  /// Inserts or overwrites the mapping for `key`.
+  void Upsert(KeyId key, ItemHandle handle);
+
+  /// Returns the handle for `key`, or kInvalidHandle.
+  [[nodiscard]] ItemHandle Find(KeyId key) const noexcept;
+
+  /// Removes the mapping; returns false if absent.
+  bool Erase(KeyId key) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    KeyId key = 0;
+    ItemHandle handle = kInvalidHandle;  // kInvalidHandle marks "empty"
+  };
+
+  [[nodiscard]] std::size_t IdealSlot(KeyId key) const noexcept {
+    return static_cast<std::size_t>(Mix64(key)) & mask_;
+  }
+  [[nodiscard]] std::size_t ProbeDistance(std::size_t pos) const noexcept {
+    return (pos - IdealSlot(slots_[pos].key)) & mask_;
+  }
+  void Grow();
+  static std::size_t RoundUpPow2(std::size_t n) noexcept;
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pamakv

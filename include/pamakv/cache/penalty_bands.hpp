@@ -1,0 +1,48 @@
+// Penalty-band table: maps a miss penalty to the subclass index within a
+// size class. The paper's evaluation divides every class into five
+// subclasses covering (0,1ms], (1,10ms], (10,100ms], (100,1000ms], (1s,5s]
+// (Sec. IV). Penalties beyond the last bound fall into the last band.
+// A single-band table collapses subclasses entirely, which is how the
+// non-penalty-aware policies (and pre-PAMA) are configured.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class PenaltyBandTable {
+ public:
+  /// upper_bounds: ascending exclusive-lower/inclusive-upper bounds in
+  /// microseconds. Empty vector => one band (subclasses disabled).
+  explicit PenaltyBandTable(std::vector<MicroSecs> upper_bounds = {})
+      : bounds_(std::move(upper_bounds)) {}
+
+  /// The paper's five bands.
+  [[nodiscard]] static PenaltyBandTable PaperDefault() {
+    return PenaltyBandTable({1'000, 10'000, 100'000, 1'000'000, 5'000'000});
+  }
+
+  [[nodiscard]] SubclassId BandFor(MicroSecs penalty) const noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), penalty);
+    if (it == bounds_.end()) {
+      return bounds_.empty() ? 0 : static_cast<SubclassId>(bounds_.size() - 1);
+    }
+    return static_cast<SubclassId>(it - bounds_.begin());
+  }
+
+  [[nodiscard]] std::uint32_t num_bands() const noexcept {
+    return bounds_.empty() ? 1 : static_cast<std::uint32_t>(bounds_.size());
+  }
+
+  [[nodiscard]] const std::vector<MicroSecs>& bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  std::vector<MicroSecs> bounds_;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,44 @@
+// Lifetime counters maintained by the cache engine. The simulator snapshots
+// these at window boundaries and differences consecutive snapshots to get
+// the per-window hit ratio and average service time series the paper plots.
+#pragma once
+
+#include <cstdint>
+
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+struct CacheStats {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t set_updates = 0;     ///< SETs that overwrote an existing key
+  std::uint64_t set_failures = 0;    ///< stores refused (no space obtainable)
+  std::uint64_t dels = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t slab_migrations = 0; ///< cross-class slab transfers
+  std::uint64_t ghost_hits = 0;      ///< misses whose key was in a ghost list
+  /// Sum of miss penalties charged to GET misses, in microseconds. Average
+  /// GET service time = (penalty_total + hits * hit_time) / gets.
+  std::uint64_t miss_penalty_total_us = 0;
+
+  [[nodiscard]] double HitRatio() const noexcept {
+    return gets ? static_cast<double>(get_hits) / static_cast<double>(gets) : 0.0;
+  }
+
+  /// Average GET service time in microseconds given a fixed hit cost.
+  [[nodiscard]] double AvgServiceTimeUs(MicroSecs hit_time_us) const noexcept {
+    if (gets == 0) return 0.0;
+    const double total = static_cast<double>(miss_penalty_total_us) +
+                         static_cast<double>(get_hits) *
+                             static_cast<double>(hit_time_us);
+    return total / static_cast<double>(gets);
+  }
+
+  /// Component-wise difference (this - earlier); used for window metrics.
+  [[nodiscard]] CacheStats Since(const CacheStats& earlier) const noexcept;
+};
+
+}  // namespace pamakv

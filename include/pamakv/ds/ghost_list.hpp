@@ -1,0 +1,72 @@
+// GhostList: the paper's "extended section" of a subclass LRU stack
+// (Sec. III, second challenge). It remembers the keys and miss penalties —
+// never the values — of the most recently evicted items, ordered by
+// eviction recency: rank 0 sits "right beneath the candidate slab", i.e. it
+// is the first item a newly granted slab would re-cache (the receiving
+// segment), rank spp..2*spp-1 is the next ghost segment, and so on.
+//
+// Implementation: a ring buffer keyed by eviction sequence number. A live
+// entry's rank is the count of live entries evicted after it, answered
+// exactly in O(log capacity) by a Fenwick tree over ring slots. Removals
+// (ghost hits whose item is re-fetched, or key deletions) leave holes that
+// the Fenwick tree skips, so ranks stay exact without compaction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pamakv/util/fenwick.hpp"
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class GhostList {
+ public:
+  struct Hit {
+    MicroSecs penalty;
+    std::size_t rank;  ///< 0 == most recently evicted
+  };
+
+  explicit GhostList(std::size_t capacity);
+
+  /// Records an eviction. If the key already has a ghost entry, the stale
+  /// entry is dropped first. The oldest entry is overwritten once the ring
+  /// wraps, bounding memory at `capacity` entries.
+  void Push(KeyId key, MicroSecs penalty);
+
+  /// Looks up a key without modifying the list.
+  [[nodiscard]] std::optional<Hit> Lookup(KeyId key) const;
+
+  /// Removes a key (the item was re-inserted into the cache, or deleted).
+  /// Returns true if it was present.
+  bool Remove(KeyId key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool Contains(KeyId key) const { return map_.count(key) > 0; }
+
+ private:
+  struct Entry {
+    KeyId key = 0;
+    MicroSecs penalty = 0;
+    std::uint64_t seq = 0;
+    bool live = false;
+  };
+
+  [[nodiscard]] std::size_t SlotOf(std::uint64_t seq) const noexcept {
+    return static_cast<std::size_t>(seq % entries_.size());
+  }
+  void Expire(std::size_t slot);
+  /// Count of live entries with sequence numbers in (seq, next_seq_).
+  [[nodiscard]] std::size_t LiveNewerThan(std::uint64_t seq) const;
+
+  std::vector<Entry> entries_;
+  FenwickTree live_counts_;
+  std::unordered_map<KeyId, std::uint64_t> map_;  // key -> seq
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,110 @@
+// LruStack: an LRU stack with O(log n) exact rank queries.
+//
+// PAMA needs to know, on every hit, whether the touched item lies in one of
+// the bottom (m+1) segments of its subclass stack and in which segment
+// (paper Sec. III). A plain doubly-linked LRU list cannot answer positional
+// queries, so the stack is a randomized order-statistic treap ordered by
+// recency: in-order position 0 is the MRU top, position size()-1 is the LRU
+// bottom. Subtree sizes give rank-of-node and k-th-node in O(log n).
+//
+// This exact-rank structure serves three roles:
+//  * ground truth for the Bloom-filter approximation (ablation + tests),
+//  * the eviction order for every policy (bottom() is the LRU victim),
+//  * per-window rebuild scans for the Bloom mode (bottom-up iteration).
+//
+// Nodes are pool-allocated and pointer-stable; each cache item stores its
+// node pointer for O(1) access on hit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pamakv/util/rng.hpp"
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class LruStack {
+ public:
+  struct Node {
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    std::size_t subtree_size = 1;
+    std::uint64_t priority = 0;
+    ItemHandle value = kInvalidHandle;
+  };
+
+  /// seed: deterministic priority stream (experiments are reproducible).
+  explicit LruStack(std::uint64_t seed = 1) noexcept : rng_(seed) {}
+
+  LruStack(const LruStack&) = delete;
+  LruStack& operator=(const LruStack&) = delete;
+  LruStack(LruStack&&) = default;
+  LruStack& operator=(LruStack&&) = default;
+
+  /// Pushes a new item at the MRU top. Returns its stable node.
+  Node* PushTop(ItemHandle value);
+
+  /// Removes the node from the stack and recycles it.
+  void Erase(Node* node) noexcept;
+
+  /// Moves an existing node to the MRU top (the LRU "touch" operation).
+  /// The node pointer remains valid.
+  void MoveToTop(Node* node) noexcept;
+
+  /// 0-based distance from the MRU top.
+  [[nodiscard]] std::size_t RankFromTop(const Node* node) const noexcept;
+
+  /// 0-based distance from the LRU bottom (0 == next eviction victim).
+  [[nodiscard]] std::size_t RankFromBottom(const Node* node) const noexcept {
+    return size_ - 1 - RankFromTop(node);
+  }
+
+  /// k-th node counting from the LRU bottom (k == 0 is the bottom).
+  /// Returns nullptr when k >= size().
+  [[nodiscard]] Node* KthFromBottom(std::size_t k) const noexcept;
+
+  /// The LRU victim, or nullptr when empty.
+  [[nodiscard]] Node* Bottom() const noexcept {
+    return size_ ? KthFromBottom(0) : nullptr;
+  }
+
+  /// Neighbour one position closer to the top (nullptr at the top).
+  [[nodiscard]] static Node* TowardTop(Node* node) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Invariant checker used by tests: heap order on priorities, correct
+  /// subtree sizes and parent pointers. O(n).
+  [[nodiscard]] bool CheckInvariants() const noexcept;
+
+ private:
+  [[nodiscard]] static std::size_t SizeOf(const Node* n) noexcept {
+    return n ? n->subtree_size : 0;
+  }
+  static void Update(Node* n) noexcept {
+    n->subtree_size = 1 + SizeOf(n->left) + SizeOf(n->right);
+  }
+  /// Rotates `n` above its parent, preserving in-order sequence.
+  void RotateUp(Node* n) noexcept;
+  /// Detaches a node from the tree without recycling it.
+  void Unlink(Node* node) noexcept;
+  /// Inserts an existing (detached) node at the top position.
+  void LinkTop(Node* node) noexcept;
+
+  Node* AllocateNode(ItemHandle value);
+  void RecycleNode(Node* node) noexcept;
+  [[nodiscard]] bool CheckSubtree(const Node* n, const Node* parent) const noexcept;
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  std::deque<Node> pool_;
+  std::vector<Node*> free_nodes_;
+  Rng rng_;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,40 @@
+// Facebook's slab re-balancer (Nishtala et al., NSDI'13; paper Sec. II):
+// approximate one global LRU by balancing the age of each class's LRU item.
+// If some class's LRU item is more than 20% younger than the average of the
+// other classes' LRU ages, move a slab from the class with the oldest LRU
+// item to the class with the youngest. Locality-only: size and penalty are
+// ignored.
+#pragma once
+
+#include "pamakv/policy/policy.hpp"
+
+namespace pamakv {
+
+struct FacebookAgeConfig {
+  /// Imbalance threshold (paper: 20%).
+  double youth_threshold = 0.2;
+  /// How often (in accesses) the balance check runs.
+  AccessClock check_interval = 10'000;
+};
+
+class FacebookAgePolicy final : public AllocationPolicy {
+ public:
+  explicit FacebookAgePolicy(const FacebookAgeConfig& config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "facebook-age";
+  }
+
+  void OnTick(AccessClock now) override;
+  [[nodiscard]] bool MakeRoom(ClassId cls, SubclassId sub) override;
+
+ private:
+  /// Runs one balance check; returns true if a slab moved.
+  bool BalanceOnce(AccessClock now);
+
+  FacebookAgeConfig config_;
+  AccessClock last_check_ = 0;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,21 @@
+// Original Memcached (paper Sec. II, "earlier versions of Memcached"):
+// slabs are assigned to classes on first demand while free memory lasts and
+// never move afterwards. Once memory is exhausted a class replaces within
+// itself (LRU); a class that owns no slab at that point can never store —
+// exactly the under-utilization the paper motivates with.
+#pragma once
+
+#include "pamakv/policy/policy.hpp"
+
+namespace pamakv {
+
+class NoReallocPolicy final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "memcached";
+  }
+
+  [[nodiscard]] bool MakeRoom(ClassId cls, SubclassId sub) override;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,58 @@
+// AllocationPolicy: the decision layer over CacheEngine's slab mechanics.
+//
+// The engine notifies the policy of every event it might base a decision
+// on, then calls MakeRoom() when a store needs a slot that neither the
+// class's free slots nor the global free-slab pool can provide. A policy
+// answers MakeRoom by composing the engine's primitive moves (EvictBottom,
+// EvictClassLru, MigrateSlab) until a slot in the requesting class is free.
+//
+// Callback contract (ordering matters for PAMA's rank bookkeeping):
+//  * OnTick     — once per request, before the request is processed.
+//  * OnHit      — before the item is promoted to the stack top, so the
+//                 policy observes the pre-promotion stack position.
+//  * OnMiss     — for a GET whose key is absent; ghost consultation happens
+//                 here. The (size, penalty) are the trace's values for the
+//                 key being re-fetched.
+//  * OnInsert   — after a new item landed in its stack (top position).
+//  * OnEvict    — before the item's metadata is recycled; the item is still
+//                 intact but already off its stack.
+#pragma once
+
+#include <string_view>
+
+#include "pamakv/cache/cache_engine.hpp"
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Called once, after the engine is fully constructed.
+  virtual void Attach(CacheEngine& engine) { engine_ = &engine; }
+
+  virtual void OnTick(AccessClock /*now*/) {}
+  virtual void OnHit(const Item& /*item*/) {}
+  virtual void OnMiss(KeyId /*key*/, Bytes /*size*/, MicroSecs /*penalty*/,
+                      ClassId /*cls*/, SubclassId /*sub*/) {}
+  virtual void OnInsert(const Item& /*item*/) {}
+  virtual void OnEvict(const Item& /*item*/) {}
+
+  /// Make at least one slot available in class `cls` (the store that
+  /// triggered this targets subclass `sub`). Returns false to refuse the
+  /// store (original Memcached does this when the class owns no slab and
+  /// all memory is assigned elsewhere).
+  [[nodiscard]] virtual bool MakeRoom(ClassId cls, SubclassId sub) = 0;
+
+ protected:
+  [[nodiscard]] CacheEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const CacheEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  CacheEngine* engine_ = nullptr;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,58 @@
+// PSA — Periodic Slab Allocation (Carra & Michiardi; paper Sec. II).
+//
+// Every M misses, one slab is relocated from the class with the lowest
+// request density (requests per slab in the current observation window) to
+// the class that recorded the most misses in that window. PSA normalizes
+// requests by space, so item size participates in the decision, but miss
+// penalty does not — the deficiency PAMA targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamakv/policy/policy.hpp"
+
+namespace pamakv {
+
+struct PsaConfig {
+  /// Relocations are considered every `misses_per_relocation` misses (the
+  /// paper's predefined constant M).
+  std::uint64_t misses_per_relocation = 2000;
+  /// Observation window (accesses) over which requests/misses are counted.
+  AccessClock window_accesses = 100'000;
+};
+
+class PsaPolicy final : public AllocationPolicy {
+ public:
+  explicit PsaPolicy(const PsaConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "psa"; }
+
+  void Attach(CacheEngine& engine) override;
+  void OnTick(AccessClock now) override;
+  void OnHit(const Item& item) override;
+  void OnMiss(KeyId key, Bytes size, MicroSecs penalty, ClassId cls,
+              SubclassId sub) override;
+  [[nodiscard]] bool MakeRoom(ClassId cls, SubclassId sub) override;
+
+  // Introspection for tests.
+  [[nodiscard]] std::uint64_t WindowRequests(ClassId c) const {
+    return requests_.at(c);
+  }
+  [[nodiscard]] std::uint64_t WindowMisses(ClassId c) const {
+    return misses_.at(c);
+  }
+
+ private:
+  /// Performs the periodic relocation if one is due.
+  void MaybeRelocate();
+  [[nodiscard]] std::optional<ClassId> LowestDensityDonor() const;
+
+  PsaConfig config_;
+  std::vector<std::uint64_t> requests_;
+  std::vector<std::uint64_t> misses_;
+  std::uint64_t misses_since_relocation_ = 0;
+  AccessClock window_start_ = 0;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,26 @@
+// Twemcache random slab reassignment (Twitter; paper Sec. II): when a class
+// misses with no free space, take a slab from a uniformly random class and
+// give it to the missing class, spreading misses evenly regardless of how
+// efficiently the donor was using the space.
+#pragma once
+
+#include "pamakv/policy/policy.hpp"
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv {
+
+class TwemcachePolicy final : public AllocationPolicy {
+ public:
+  explicit TwemcachePolicy(std::uint64_t seed = 0xdecafbadULL) : rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "twemcache";
+  }
+
+  [[nodiscard]] bool MakeRoom(ClassId cls, SubclassId sub) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,56 @@
+// Memcached-style size-class geometry.
+//
+// The paper (Sec. IV) follows Memcached's class definition: the first class
+// stores items of at most 64 bytes and every class doubles the previous
+// class's maximum. Memory is carved into fixed-size slabs; a slab assigned
+// to class c is divided into slab_bytes / slot_size(c) equal slots, and one
+// slot holds one item. The "items per slab" quantity (slots-per-slab, spp)
+// also defines PAMA's segment length for that class.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+struct SizeClassConfig {
+  /// Slab size in bytes. The paper uses Memcached's 1 MiB; the scaled
+  /// default keeps slab *counts* paper-equivalent at laptop-size caches.
+  Bytes slab_bytes = 64 * 1024;
+  /// Slot size of class 0 (the smallest items).
+  Bytes min_slot_bytes = 16;
+  /// Multiplier between consecutive classes (Memcached default factor 2
+  /// per the paper's Sec. IV description).
+  double growth_factor = 2.0;
+  /// Number of classes. 12 matches the paper's figures (classes 0..11).
+  std::uint32_t num_classes = 12;
+};
+
+class SizeClassTable {
+ public:
+  explicit SizeClassTable(const SizeClassConfig& config);
+
+  /// Smallest class whose slot fits `size` bytes; nullopt when the item is
+  /// larger than the biggest slot (Memcached refuses such stores).
+  [[nodiscard]] std::optional<ClassId> ClassForSize(Bytes size) const noexcept;
+
+  [[nodiscard]] Bytes SlotBytes(ClassId c) const { return slot_bytes_.at(c); }
+  [[nodiscard]] std::size_t SlotsPerSlab(ClassId c) const {
+    return slots_per_slab_.at(c);
+  }
+  [[nodiscard]] std::uint32_t num_classes() const noexcept {
+    return static_cast<std::uint32_t>(slot_bytes_.size());
+  }
+  [[nodiscard]] Bytes slab_bytes() const noexcept { return slab_bytes_; }
+  [[nodiscard]] Bytes max_item_bytes() const { return slot_bytes_.back(); }
+
+ private:
+  Bytes slab_bytes_;
+  std::vector<Bytes> slot_bytes_;
+  std::vector<std::size_t> slots_per_slab_;
+};
+
+}  // namespace pamakv

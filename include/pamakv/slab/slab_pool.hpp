@@ -1,0 +1,91 @@
+// SlabPool: accounting for the cache's slab-granular memory.
+//
+// Ownership is tracked per (class, subclass): a slab belongs to exactly one
+// penalty-band subclass of one size class, and its slots can only hold that
+// subclass's items. This matters for PAMA — a slab migrated to a high-
+// penalty subclass must serve *that* subclass's items ("it will be used to
+// cache items in the segment right beneath the candidate slab", Sec. III);
+// were slots class-shared, the class's highest-miss-rate band would absorb
+// the space regardless of who earned it. Policies that don't use penalty
+// bands run with one subclass per class, where this reduces to Memcached's
+// per-class accounting.
+//
+// The simulator tracks ownership and occupancy rather than real payload
+// bytes — every scheme the paper studies decides purely on this accounting
+// state. Physical compaction of a donated virtual slab (Sec. III) is
+// modeled as: evicting one slab's worth of items frees one slab's worth of
+// slots, after which a whole slab can leave the subclass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pamakv/slab/size_classes.hpp"
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+class SlabPool {
+ public:
+  /// num_subclasses: penalty bands per class (1 disables subclassing).
+  SlabPool(Bytes capacity_bytes, const SizeClassTable& classes,
+           std::uint32_t num_subclasses = 1);
+
+  /// Tries to hand a never-assigned (or released) slab to subclass (c, s).
+  [[nodiscard]] bool GrantFreeSlab(ClassId c, SubclassId s);
+
+  /// Moves one slab between subclasses (possibly across classes). The
+  /// caller must already have ensured the donor can spare a full slab.
+  void TransferSlab(ClassId from_c, SubclassId from_s, ClassId to_c,
+                    SubclassId to_s);
+
+  /// Marks one of (c, s)'s slots occupied; fails if no free slot.
+  [[nodiscard]] bool AcquireSlot(ClassId c, SubclassId s);
+
+  /// Releases one occupied slot of (c, s).
+  void ReleaseSlot(ClassId c, SubclassId s);
+
+  [[nodiscard]] std::size_t total_slabs() const noexcept { return total_slabs_; }
+  [[nodiscard]] std::size_t free_slabs() const noexcept { return free_slabs_; }
+
+  // ---- per-subclass accounting ----
+  [[nodiscard]] std::size_t SlabCount(ClassId c, SubclassId s) const {
+    return slab_count_.at(Index(c, s));
+  }
+  [[nodiscard]] std::size_t SlotsInUse(ClassId c, SubclassId s) const {
+    return slots_in_use_.at(Index(c, s));
+  }
+  [[nodiscard]] std::size_t FreeSlots(ClassId c, SubclassId s) const {
+    return SlabCount(c, s) * classes_->SlotsPerSlab(c) - SlotsInUse(c, s);
+  }
+  /// True when, evicting nothing further, (c, s) could give up a slab.
+  [[nodiscard]] bool CanReleaseSlab(ClassId c, SubclassId s) const {
+    return SlabCount(c, s) > 0 && FreeSlots(c, s) >= classes_->SlotsPerSlab(c);
+  }
+  /// Items that must be evicted from (c, s) before a slab can leave it.
+  [[nodiscard]] std::size_t EvictionsNeededToFreeSlab(ClassId c,
+                                                      SubclassId s) const;
+
+  // ---- class-level sums (Fig. 3 reporting, single-band policies) ----
+  [[nodiscard]] std::size_t ClassSlabCount(ClassId c) const;
+  [[nodiscard]] std::size_t ClassSlotsInUse(ClassId c) const;
+
+  [[nodiscard]] const SizeClassTable& classes() const noexcept { return *classes_; }
+  [[nodiscard]] std::uint32_t num_subclasses() const noexcept {
+    return num_subclasses_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t Index(ClassId c, SubclassId s) const {
+    return static_cast<std::size_t>(c) * num_subclasses_ + s;
+  }
+
+  const SizeClassTable* classes_;
+  std::uint32_t num_subclasses_;
+  std::size_t total_slabs_;
+  std::size_t free_slabs_;
+  std::vector<std::size_t> slab_count_;
+  std::vector<std::size_t> slots_in_use_;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,129 @@
+// Synthetic Facebook-like Memcached workloads.
+//
+// The paper evaluates on proprietary Facebook traces characterized in
+// Atikoglu et al. (SIGMETRICS'12): Zipf-like key popularity, sizes spanning
+// bytes..~1 MB with class-specific request shares, diurnal load/working-set
+// drift, and (for APP) a large population of keys touched exactly once
+// (~40% of misses are cold). These generators reproduce the marginal and
+// joint distributions those schemes actually react to; DESIGN.md records
+// the substitution rationale.
+//
+// Determinism: a key's size class, exact size and miss penalty are pure
+// functions of (key, seed) — no per-key state is stored, so 10^7-request
+// streams cost O(1) memory and replay bit-identically after Reset().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pamakv/slab/size_classes.hpp"
+#include "pamakv/trace/penalty_model.hpp"
+#include "pamakv/trace/request.hpp"
+#include "pamakv/util/rng.hpp"
+#include "pamakv/util/zipf.hpp"
+
+namespace pamakv {
+
+struct WorkloadConfig {
+  std::string name = "custom";
+  std::uint64_t seed = 1;
+  std::uint64_t num_requests = 1'000'000;
+  /// Recurring key population (cold one-shot keys are drawn elsewhere).
+  std::uint64_t key_space = 500'000;
+  double zipf_alpha = 1.0;
+  /// Request mass per size class; keys are assigned a class by hashing, so
+  /// popularity and size stay independent (small/popular and large/popular
+  /// keys both exist, as the paper stresses).
+  std::vector<double> class_weights;
+  /// Op mix; the remainder after get+set is DELs.
+  double get_fraction = 0.96;
+  double set_fraction = 0.03;
+  /// Probability a GET targets a brand-new never-repeated key (APP's cold
+  /// misses). The key leaves the recurring population forever.
+  double cold_fraction = 0.0;
+  /// Working-set drift: fraction of the key space the hot set slides across
+  /// over one diurnal period (0 disables).
+  double diurnal_amplitude = 0.0;
+  std::uint64_t diurnal_period_requests = 2'000'000;
+  /// Mean request interarrival time for synthetic timestamps.
+  MicroSecs interarrival_us = 100;
+  PenaltyModelConfig penalty;
+  SizeClassConfig geometry;
+};
+
+/// The ETC-like preset: "the most representative of large-scale,
+/// general-purpose KV stores" — small items dominate (class 0 receives the
+/// large majority of requests), mild drift.
+[[nodiscard]] WorkloadConfig EtcWorkload(std::uint64_t num_requests,
+                                         std::uint64_t seed = 1);
+
+/// The APP-like preset: larger items, a big one-shot key population
+/// (~40% of misses are cold on the first pass), stronger class spread.
+[[nodiscard]] WorkloadConfig AppWorkload(std::uint64_t num_requests,
+                                         std::uint64_t seed = 2);
+
+/// USR-like: two tiny key sizes, essentially one value size (the paper
+/// excludes it for that reason; provided for completeness).
+[[nodiscard]] WorkloadConfig UsrWorkload(std::uint64_t num_requests,
+                                         std::uint64_t seed = 3);
+
+/// SYS-like: very small data set (a small cache already yields ~100% hits).
+[[nodiscard]] WorkloadConfig SysWorkload(std::uint64_t num_requests,
+                                         std::uint64_t seed = 4);
+
+/// VAR-like: dominated by updates (SET/REPLACE), few GETs.
+[[nodiscard]] WorkloadConfig VarWorkload(std::uint64_t num_requests,
+                                         std::uint64_t seed = 5);
+
+class SyntheticTrace final : public TraceSource {
+ public:
+  explicit SyntheticTrace(const WorkloadConfig& config);
+
+  bool Next(Request& out) override;
+  void Reset() override;
+  [[nodiscard]] std::uint64_t TotalRequests() const noexcept override {
+    return config_.num_requests;
+  }
+
+  /// Size class / exact size / penalty assigned to a key (also used by the
+  /// simulator's write-allocate path and by tests).
+  [[nodiscard]] ClassId ClassOfKey(KeyId key) const;
+  [[nodiscard]] Bytes SizeOfKey(KeyId key) const;
+  [[nodiscard]] MicroSecs PenaltyOfKey(KeyId key) const;
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] KeyId DrawRecurringKey();
+
+  WorkloadConfig config_;
+  SizeClassTable classes_;
+  ZipfSampler zipf_;
+  DiscreteSampler class_sampler_;
+  PenaltyModel penalty_;
+  Rng rng_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t cold_counter_ = 0;
+  MicroSecs now_us_ = 0;
+};
+
+/// Concatenates `passes` replays of an underlying source (the paper's
+/// "repeat the same trace in the second half" setup for APP).
+class RepeatedTrace final : public TraceSource {
+ public:
+  RepeatedTrace(std::unique_ptr<TraceSource> inner, std::uint64_t passes);
+
+  bool Next(Request& out) override;
+  void Reset() override;
+  [[nodiscard]] std::uint64_t TotalRequests() const noexcept override {
+    return inner_->TotalRequests() * passes_;
+  }
+
+ private:
+  std::unique_ptr<TraceSource> inner_;
+  std::uint64_t passes_;
+  std::uint64_t done_passes_ = 0;
+};
+
+}  // namespace pamakv

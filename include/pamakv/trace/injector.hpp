@@ -1,0 +1,70 @@
+// ColdBurstInjector: the Sec. IV-C experiment's unpopular-item burst.
+//
+// Wraps a trace and, once the underlying stream has served a configured
+// number of GETs, splices in a burst of requests "accessing and adding new
+// KV items": each injected key arrives as a GET (which misses and charges
+// its penalty) followed by its write-allocating SET — that is how the
+// paper's impacted classes "receive the cold misses in a short time period
+// and produce many misses", which is exactly what bait-takes PSA's
+// miss-count-driven relocation. Injected bytes total a fraction of the
+// cache (the paper uses 10%), confined to a few adjacent size classes
+// ("impacted classes" — bursty requests usually come from one application
+// and share characteristics). The injected keys are never requested again,
+// so a well-behaved allocator should cede their space quickly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pamakv/slab/size_classes.hpp"
+#include "pamakv/trace/request.hpp"
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv {
+
+struct ColdBurstConfig {
+  /// GETs served before the burst starts (paper: 0.35x10^8 of 8x10^8).
+  std::uint64_t after_gets = 350'000;
+  /// Total injected bytes (paper: 10% of the cache size).
+  Bytes total_bytes = 0;
+  /// Size classes the burst lands in (paper: three adjacent classes).
+  std::vector<ClassId> impacted_classes = {2, 3, 4};
+  /// Miss penalty attached to injected items.
+  MicroSecs penalty_us = 100'000;
+  std::uint64_t seed = 0xc01db125ULL;
+};
+
+class ColdBurstInjector final : public TraceSource {
+ public:
+  ColdBurstInjector(std::unique_ptr<TraceSource> inner,
+                    const ColdBurstConfig& config,
+                    const SizeClassConfig& geometry);
+
+  bool Next(Request& out) override;
+  void Reset() override;
+  [[nodiscard]] std::uint64_t TotalRequests() const noexcept override {
+    return inner_->TotalRequests();  // injected SETs are extra
+  }
+
+  [[nodiscard]] std::uint64_t injected_count() const noexcept {
+    return injected_count_;
+  }
+  [[nodiscard]] Bytes injected_bytes() const noexcept { return injected_bytes_; }
+
+ private:
+  [[nodiscard]] bool EmitBurstRequest(Request& out);
+
+  std::unique_ptr<TraceSource> inner_;
+  ColdBurstConfig config_;
+  SizeClassTable classes_;
+  Rng rng_;
+  std::uint64_t gets_seen_ = 0;
+  Bytes injected_bytes_ = 0;
+  std::uint64_t injected_count_ = 0;
+  bool bursting_ = false;
+  bool burst_done_ = false;
+  bool pending_set_ = false;
+  Request pending_request_;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,44 @@
+// Request records and the pull-based trace source interface.
+//
+// A trace is a stream of (op, key, size, penalty) records. Sizes and
+// penalties ride along with every request because that is exactly the
+// information the paper reconstructs from the Facebook traces: the value
+// size determines the slab class, and the penalty is estimated from the
+// GET-miss -> SET gap of the same key (capped at 5 s, defaulting to 100 ms
+// when unknown — Sec. IV).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "pamakv/util/types.hpp"
+
+namespace pamakv {
+
+struct Request {
+  MicroSecs timestamp_us = 0;
+  Op op = Op::kGet;
+  KeyId key = 0;
+  Bytes size = 0;
+  MicroSecs penalty_us = 0;
+};
+
+/// Pull-based request stream. Generators synthesize on demand (a 20M-request
+/// workload costs no memory), readers stream from files; both can Reset()
+/// so the simulator can replay a trace — the paper repeats APP's trace in
+/// the second half of its experiment (Sec. IV-B).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Fills `out` with the next request; false at end-of-stream.
+  virtual bool Next(Request& out) = 0;
+
+  /// Restarts the stream from the first request.
+  virtual void Reset() = 0;
+
+  /// Total requests per pass, or 0 when unknown.
+  [[nodiscard]] virtual std::uint64_t TotalRequests() const noexcept { return 0; }
+};
+
+}  // namespace pamakv

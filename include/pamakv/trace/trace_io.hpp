@@ -1,0 +1,100 @@
+// Trace file I/O.
+//
+// Two interchangeable formats:
+//  * binary (.pkvt): 16-byte header ("PKVT" magic, version, record count),
+//    then fixed 24-byte little-endian records — compact and fast to replay;
+//  * CSV: "op,key,size,penalty_us" with op in {GET,SET,DEL} — easy to
+//    produce from external traces (e.g. converted Twitter/Memcached logs).
+//
+// Readers implement TraceSource, so files replay through the simulator
+// exactly like synthetic workloads.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "pamakv/trace/request.hpp"
+
+namespace pamakv {
+
+/// On-disk record layout (binary format). Kept explicit so the format is a
+/// stable contract rather than an accident of struct padding.
+struct BinaryTraceRecord {
+  std::uint64_t key;
+  std::uint64_t timestamp_us;
+  std::uint32_t size;
+  std::uint32_t penalty_us;  // penalties are capped at 5 s, fits in 32 bits
+  std::uint8_t op;           // Op enum value
+  std::uint8_t reserved[7];  // explicit padding, zeroed on write
+};
+static_assert(sizeof(BinaryTraceRecord) == 32);
+
+class BinaryTraceWriter {
+ public:
+  explicit BinaryTraceWriter(const std::string& path);
+  ~BinaryTraceWriter();
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  void Write(const Request& request);
+  /// Flushes, back-patches the record count into the header and closes.
+  void Close();
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t written_ = 0;
+};
+
+class BinaryTraceReader final : public TraceSource {
+ public:
+  explicit BinaryTraceReader(const std::string& path);
+  ~BinaryTraceReader() override;
+
+  bool Next(Request& out) override;
+  void Reset() override;
+  [[nodiscard]] std::uint64_t TotalRequests() const noexcept override {
+    return total_;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+class CsvTraceWriter {
+ public:
+  explicit CsvTraceWriter(const std::string& path);
+  ~CsvTraceWriter();
+
+  CsvTraceWriter(const CsvTraceWriter&) = delete;
+  CsvTraceWriter& operator=(const CsvTraceWriter&) = delete;
+
+  void Write(const Request& request);
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+class CsvTraceReader final : public TraceSource {
+ public:
+  explicit CsvTraceReader(const std::string& path);
+  ~CsvTraceReader() override;
+
+  bool Next(Request& out) override;
+  void Reset() override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool header_skipped_ = false;
+};
+
+/// Drains `source` into a binary trace file; returns records written.
+std::uint64_t DumpTrace(TraceSource& source, const std::string& path);
+
+}  // namespace pamakv

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser shared by benches and examples.
+// Supports --name=value and --name value forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pamakv {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& name, double fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<std::string> Find(const std::string& name) const;
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads a positive scale factor from the PAMA_BENCH_SCALE environment
+/// variable (default fallback when unset/invalid). Benches multiply their
+/// request counts by this so CI can run them quickly while full paper-scale
+/// runs remain one env var away.
+[[nodiscard]] double BenchScaleFromEnv(double fallback = 0.5);
+
+}  // namespace pamakv

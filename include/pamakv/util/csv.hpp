@@ -1,0 +1,57 @@
+// Minimal CSV emission used by benches and the experiment runner to print
+// figure series in a machine-readable, plot-ready form.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pamakv {
+
+/// Writes rows of a CSV table to a stream. Fields containing separators or
+/// quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(&out), sep_(sep) {}
+
+  void WriteHeader(std::initializer_list<std::string_view> cols) { WriteRowImpl(cols); }
+
+  template <typename... Fields>
+  void WriteRow(const Fields&... fields) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(fields));
+    (row.push_back(ToField(fields)), ...);
+    WriteRowStrings(row);
+  }
+
+  void WriteRowStrings(const std::vector<std::string>& row);
+
+ private:
+  template <typename Range>
+  void WriteRowImpl(const Range& row) {
+    std::vector<std::string> fields;
+    for (const auto& f : row) fields.emplace_back(f);
+    WriteRowStrings(fields);
+  }
+
+  [[nodiscard]] static std::string ToField(const std::string& s) { return s; }
+  [[nodiscard]] static std::string ToField(std::string_view s) { return std::string(s); }
+  [[nodiscard]] static std::string ToField(const char* s) { return s; }
+  [[nodiscard]] static std::string ToField(double v);
+  [[nodiscard]] static std::string ToField(float v) { return ToField(static_cast<double>(v)); }
+  template <typename Int>
+  [[nodiscard]] static std::string ToField(Int v)
+    requires std::is_integral_v<Int>
+  {
+    return std::to_string(v);
+  }
+
+  [[nodiscard]] static std::string Escape(const std::string& field, char sep);
+
+  std::ostream* out_;
+  char sep_;
+};
+
+}  // namespace pamakv

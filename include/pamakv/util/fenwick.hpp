@@ -1,0 +1,54 @@
+// Fenwick (binary indexed) tree over a fixed-size array of signed counts.
+// Used by GhostList to answer "how many live entries sit between two ring
+// positions" in O(log n), which turns eviction-order sequence numbers into
+// exact ghost-stack ranks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pamakv {
+
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  /// Adds delta at 0-based position i.
+  void Add(std::size_t i, std::int64_t delta) {
+    assert(i < size());
+    for (std::size_t p = i + 1; p < tree_.size(); p += p & (~p + 1)) {
+      tree_[p] += delta;
+    }
+  }
+
+  /// Sum of positions [0, i) (0-based, exclusive upper bound).
+  [[nodiscard]] std::int64_t PrefixSum(std::size_t i) const {
+    assert(i <= size());
+    std::int64_t sum = 0;
+    for (std::size_t p = i; p > 0; p -= p & (~p + 1)) {
+      sum += tree_[p];
+    }
+    return sum;
+  }
+
+  /// Sum of positions [lo, hi) (0-based, half-open).
+  [[nodiscard]] std::int64_t RangeSum(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi);
+    return PrefixSum(hi) - PrefixSum(lo);
+  }
+
+  /// Total over the whole array.
+  [[nodiscard]] std::int64_t Total() const { return PrefixSum(size()); }
+
+  void Reset() { tree_.assign(tree_.size(), 0); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace pamakv

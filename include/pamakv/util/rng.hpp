@@ -1,0 +1,78 @@
+// Deterministic, seedable random number generation.
+//
+// Experiments must be bit-reproducible across runs and platforms, so the
+// library never touches std::random_device or the global C RNG. All
+// randomness flows from explicitly seeded xoshiro256** streams, split with
+// splitmix64 (the standard seeding recipe from Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+namespace pamakv {
+
+/// splitmix64 step: used for seed expansion and as a cheap mixing hash.
+[[nodiscard]] constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value; good avalanche, used for hashing keys.
+[[nodiscard]] constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return SplitMix64(s);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  /// Seeds the four words of state via splitmix64, per the reference seeding.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit draw.
+  [[nodiscard]] std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  [[nodiscard]] std::uint64_t NextBounded(std::uint64_t bound) noexcept;
+
+  /// Standard-normal draw (Marsaglia polar method, cached spare).
+  [[nodiscard]] double NextGaussian() noexcept;
+
+  /// Derives an independent child stream; children with distinct tags are
+  /// statistically independent of the parent and each other.
+  [[nodiscard]] Rng Split(std::uint64_t tag) noexcept {
+    return Rng(NextU64() ^ Mix64(tag));
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t Rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_gaussian_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace pamakv

@@ -1,0 +1,45 @@
+// Common scalar types and strong aliases used across the pamakv library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pamakv {
+
+/// 64-bit key identifier. String front-ends hash into this space; the
+/// simulator's synthetic traces draw keys from it directly.
+using KeyId = std::uint64_t;
+
+/// Byte counts (item sizes, slab sizes, cache capacities).
+using Bytes = std::uint64_t;
+
+/// Durations in microseconds. Miss penalties in the paper span 1 ms .. 5 s,
+/// so a signed 64-bit microsecond count is ample.
+using MicroSecs = std::int64_t;
+
+/// Logical cache time: the number of requests served so far. The paper
+/// defines PAMA's time windows in accesses, not wall-clock time (Sec. III).
+using AccessClock = std::uint64_t;
+
+/// Index of a size class (Memcached "slab class").
+using ClassId = std::uint32_t;
+
+/// Index of a penalty-band subclass within a class.
+using SubclassId = std::uint32_t;
+
+/// Handle into the engine's item table. 32 bits bounds the table at ~4B
+/// items, far beyond any simulated cache.
+using ItemHandle = std::uint32_t;
+
+inline constexpr ItemHandle kInvalidHandle =
+    std::numeric_limits<ItemHandle>::max();
+
+/// Request verbs understood by the simulator (the Memcached primitives the
+/// paper's Sec. I lists, with REPLACE folded into SET).
+enum class Op : std::uint8_t {
+  kGet = 0,
+  kSet = 1,
+  kDel = 2,
+};
+
+}  // namespace pamakv

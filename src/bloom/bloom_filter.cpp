@@ -1,0 +1,55 @@
+#include "pamakv/bloom/bloom_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv {
+
+BloomFilter::BloomFilter(std::size_t expected_items, double false_positive_rate) {
+  expected_items = std::max<std::size_t>(expected_items, 8);
+  false_positive_rate = std::clamp(false_positive_rate, 1e-6, 0.5);
+  const double ln2 = std::log(2.0);
+  const double bits = -static_cast<double>(expected_items) *
+                      std::log(false_positive_rate) / (ln2 * ln2);
+  bit_count_ = std::max<std::size_t>(64, static_cast<std::size_t>(bits));
+  // Round up to a whole number of 64-bit words.
+  bit_count_ = (bit_count_ + 63) / 64 * 64;
+  const double k = bits / static_cast<double>(expected_items) * ln2;
+  hash_count_ = std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(k)), 1, 16);
+  words_.assign(bit_count_ / 64, 0);
+}
+
+BloomFilter::HashPair BloomFilter::HashKey(KeyId key) noexcept {
+  // Two independent mixes; the second seeds with a distinct constant so
+  // h1 and h2 are uncorrelated.
+  const std::uint64_t h1 = Mix64(key);
+  const std::uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1ULL;  // odd => full stride
+  return {h1, h2};
+}
+
+void BloomFilter::Add(KeyId key) noexcept {
+  const auto [h1, h2] = HashKey(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    words_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  ++added_;
+}
+
+bool BloomFilter::MayContain(KeyId key) const noexcept {
+  const auto [h1, h2] = HashKey(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+  added_ = 0;
+}
+
+}  // namespace pamakv

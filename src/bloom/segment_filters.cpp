@@ -1,0 +1,45 @@
+#include "pamakv/bloom/segment_filters.hpp"
+
+namespace pamakv {
+
+SegmentFilterSet::SegmentFilterSet(std::size_t segments,
+                                   std::size_t items_per_segment, double fpr)
+    // The removal filter sees every promotion out of the region during a
+    // window; size it for a few region-turnovers' worth of keys.
+    : removal_filter_(4 * segments * items_per_segment, fpr) {
+  filters_.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    filters_.emplace_back(items_per_segment, fpr);
+  }
+}
+
+void SegmentFilterSet::BeginRebuild() noexcept {
+  for (auto& f : filters_) f.Clear();
+  removal_filter_.Clear();
+}
+
+void SegmentFilterSet::AddToSegment(std::size_t seg, KeyId key) noexcept {
+  if (seg < filters_.size()) filters_[seg].Add(key);
+}
+
+void SegmentFilterSet::MarkRemoved(KeyId key) noexcept {
+  removal_filter_.Add(key);
+}
+
+std::optional<std::size_t> SegmentFilterSet::FindSegment(KeyId key) const noexcept {
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (filters_[i].MayContain(key)) {
+      if (removal_filter_.MayContain(key)) return std::nullopt;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t SegmentFilterSet::footprint_bytes() const noexcept {
+  std::size_t total = removal_filter_.footprint_bytes();
+  for (const auto& f : filters_) total += f.footprint_bytes();
+  return total;
+}
+
+}  // namespace pamakv

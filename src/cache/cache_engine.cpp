@@ -1,0 +1,279 @@
+#include "pamakv/cache/cache_engine.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "pamakv/policy/policy.hpp"
+
+namespace pamakv {
+
+namespace {
+
+std::vector<LruStack> MakeStacks(std::size_t count, std::uint64_t seed) {
+  std::vector<LruStack> stacks;
+  stacks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stacks.emplace_back(Mix64(seed + i));
+  }
+  return stacks;
+}
+
+std::vector<GhostList> MakeGhosts(const SizeClassTable& classes,
+                                  std::uint32_t bands,
+                                  std::uint32_t ghost_segments) {
+  std::vector<GhostList> ghosts;
+  ghosts.reserve(static_cast<std::size_t>(classes.num_classes()) * bands);
+  for (ClassId c = 0; c < classes.num_classes(); ++c) {
+    const std::size_t cap =
+        static_cast<std::size_t>(ghost_segments) * classes.SlotsPerSlab(c);
+    for (std::uint32_t s = 0; s < bands; ++s) {
+      ghosts.emplace_back(cap);
+    }
+  }
+  return ghosts;
+}
+
+}  // namespace
+
+CacheEngine::CacheEngine(const EngineConfig& config,
+                         std::unique_ptr<AllocationPolicy> policy)
+    : classes_(config.size_classes),
+      bands_(config.penalty_band_bounds),
+      pool_(config.capacity_bytes, classes_, bands_.num_bands()),
+      stacks_(MakeStacks(
+          static_cast<std::size_t>(classes_.num_classes()) * bands_.num_bands(),
+          config.seed)),
+      ghosts_(MakeGhosts(classes_, bands_.num_bands(), config.ghost_segments)),
+      policy_(std::move(policy)),
+      hit_time_us_(config.hit_time_us) {
+  assert(policy_ != nullptr);
+  policy_->Attach(*this);
+}
+
+CacheEngine::~CacheEngine() = default;
+
+ItemHandle CacheEngine::AllocateItem() {
+  if (!free_items_.empty()) {
+    const ItemHandle h = free_items_.back();
+    free_items_.pop_back();
+    return h;
+  }
+  items_.emplace_back();
+  assert(items_.size() - 1 < std::numeric_limits<ItemHandle>::max());
+  return static_cast<ItemHandle>(items_.size() - 1);
+}
+
+void CacheEngine::ReleaseItem(ItemHandle h) noexcept { free_items_.push_back(h); }
+
+GetResult CacheEngine::Get(KeyId key, Bytes size, MicroSecs miss_penalty) {
+  policy_->OnTick(clock_);
+  ++clock_;
+  ++stats_.gets;
+
+  const ItemHandle h = index_.Find(key);
+  if (h != kInvalidHandle) {
+    Item& item = items_[h];
+    ++stats_.get_hits;
+    // Policy sees the pre-promotion stack position (rank bookkeeping).
+    policy_->OnHit(item);
+    StackOf(item.cls, item.sub).MoveToTop(item.node);
+    item.last_access = clock_;
+    return GetResult{true, hit_time_us_};
+  }
+
+  ++stats_.get_misses;
+  stats_.miss_penalty_total_us += static_cast<std::uint64_t>(miss_penalty);
+  // Route the miss to the class/subclass the item would occupy so the
+  // policy can consult the right ghost list.
+  const auto cls_opt = classes_.ClassForSize(size);
+  if (cls_opt) {
+    const SubclassId sub = bands_.BandFor(miss_penalty);
+    if (GhostOf(*cls_opt, sub).Contains(key)) ++stats_.ghost_hits;
+    policy_->OnMiss(key, size, miss_penalty, *cls_opt, sub);
+  }
+  return GetResult{false, miss_penalty};
+}
+
+SetResult CacheEngine::Set(KeyId key, Bytes size, MicroSecs penalty) {
+  policy_->OnTick(clock_);
+  ++clock_;
+  ++stats_.sets;
+
+  const auto cls_opt = classes_.ClassForSize(size);
+  if (!cls_opt) {
+    ++stats_.set_failures;  // larger than the largest slot: refused
+    return SetResult{};
+  }
+  const ClassId cls = *cls_opt;
+  const SubclassId sub = bands_.BandFor(penalty);
+
+  // Overwrite path.
+  const ItemHandle existing = index_.Find(key);
+  if (existing != kInvalidHandle) {
+    Item& item = items_[existing];
+    if (item.cls == cls && item.sub == sub) {
+      item.size = size;
+      item.penalty = penalty;
+      item.last_access = clock_;
+      StackOf(cls, sub).MoveToTop(item.node);
+      ++stats_.set_updates;
+      return SetResult{true, true};
+    }
+    // Class or subclass changed: drop the old copy, insert fresh below.
+    RemoveItem(existing, /*to_ghost=*/false);
+  }
+
+  if (!ObtainSlot(cls, sub)) {
+    ++stats_.set_failures;
+    // Remember the refused key exactly like an eviction: a refused store is
+    // an instant eviction. Re-misses then feed the subclass's incoming
+    // value, letting value-gated policies (PAMA) grant it space once the
+    // demand proves itself.
+    GhostOf(cls, sub).Push(key, penalty);
+    return SetResult{};
+  }
+
+  const ItemHandle h = AllocateItem();
+  Item& item = items_[h];
+  item = Item{};
+  item.key = key;
+  item.size = size;
+  item.penalty = penalty;
+  item.cls = cls;
+  item.sub = sub;
+  item.last_access = clock_;
+  item.node = StackOf(cls, sub).PushTop(h);
+
+  index_.Upsert(key, h);
+  // The key is cached again: its ghost entry (if any) is obsolete.
+  GhostOf(cls, sub).Remove(key);
+  policy_->OnInsert(item);
+  return SetResult{true, existing != kInvalidHandle};
+}
+
+bool CacheEngine::Del(KeyId key) {
+  policy_->OnTick(clock_);
+  ++clock_;
+  ++stats_.dels;
+  const ItemHandle h = index_.Find(key);
+  if (h == kInvalidHandle) return false;
+  RemoveItem(h, /*to_ghost=*/false);
+  return true;
+}
+
+bool CacheEngine::ObtainSlot(ClassId cls, SubclassId sub) {
+  if (pool_.AcquireSlot(cls, sub)) return true;
+  if (pool_.GrantFreeSlab(cls, sub)) {
+    const bool ok = pool_.AcquireSlot(cls, sub);
+    assert(ok);
+    return ok;
+  }
+  // The policy must free a slot in (cls, sub) — possibly via slab
+  // migration. A bounded number of retries guards against a policy that
+  // frees space elsewhere: each MakeRoom call must make progress or give up.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (!policy_->MakeRoom(cls, sub)) return false;
+    if (pool_.AcquireSlot(cls, sub)) return true;
+    if (pool_.GrantFreeSlab(cls, sub) && pool_.AcquireSlot(cls, sub)) return true;
+  }
+  return false;
+}
+
+void CacheEngine::RemoveItem(ItemHandle h, bool to_ghost) {
+  Item& item = items_[h];
+  if (to_ghost) {
+    ++stats_.evictions;
+    GhostOf(item.cls, item.sub).Push(item.key, item.penalty);
+  }
+  policy_->OnEvict(item);
+  StackOf(item.cls, item.sub).Erase(item.node);
+  item.node = nullptr;
+  index_.Erase(item.key);
+  pool_.ReleaseSlot(item.cls, item.sub);
+  ReleaseItem(h);
+}
+
+bool CacheEngine::EvictBottom(ClassId c, SubclassId s) {
+  LruStack& stack = StackOf(c, s);
+  LruStack::Node* bottom = stack.Bottom();
+  if (bottom == nullptr) return false;
+  RemoveItem(bottom->value, /*to_ghost=*/true);
+  return true;
+}
+
+bool CacheEngine::EvictClassLru(ClassId c) {
+  // The class-wide LRU item is the oldest of the subclass bottoms.
+  LruStack::Node* victim = nullptr;
+  SubclassId victim_sub = 0;
+  AccessClock oldest = std::numeric_limits<AccessClock>::max();
+  for (SubclassId s = 0; s < bands_.num_bands(); ++s) {
+    LruStack::Node* bottom = StackOf(c, s).Bottom();
+    if (bottom == nullptr) continue;
+    const AccessClock age = items_[bottom->value].last_access;
+    if (age < oldest) {
+      oldest = age;
+      victim = bottom;
+      victim_sub = s;
+    }
+  }
+  if (victim == nullptr) return false;
+  (void)victim_sub;
+  RemoveItem(victim->value, /*to_ghost=*/true);
+  return true;
+}
+
+std::optional<std::size_t> CacheEngine::EvictionsToFreeSlab(ClassId c,
+                                                            SubclassId s) const {
+  if (pool_.SlabCount(c, s) == 0) return std::nullopt;
+  const std::size_t needed = pool_.EvictionsNeededToFreeSlab(c, s);
+  if (StackOf(c, s).size() < needed) return std::nullopt;
+  return needed;
+}
+
+bool CacheEngine::MigrateSlab(ClassId from_c, SubclassId from_s, ClassId to_c,
+                              SubclassId to_s) {
+  const auto needed = EvictionsToFreeSlab(from_c, from_s);
+  if (!needed) return false;
+  for (std::size_t i = 0; i < *needed; ++i) {
+    const bool evicted = EvictBottom(from_c, from_s);
+    assert(evicted);
+    (void)evicted;
+  }
+  assert(pool_.CanReleaseSlab(from_c, from_s));
+  pool_.TransferSlab(from_c, from_s, to_c, to_s);
+  ++stats_.slab_migrations;
+  return true;
+}
+
+bool CacheEngine::MigrateSlabClassLru(ClassId from_c, ClassId to_c,
+                                      SubclassId to_s) {
+  if (pool_.ClassSlabCount(from_c) == 0) return false;
+  // Evict class-wide LRU items until some subclass of from_c can release a
+  // whole slab. Bounded by the class's item population.
+  std::size_t budget = pool_.ClassSlotsInUse(from_c);
+  for (;;) {
+    for (SubclassId s = 0; s < bands_.num_bands(); ++s) {
+      if (pool_.CanReleaseSlab(from_c, s)) {
+        pool_.TransferSlab(from_c, s, to_c, to_s);
+        ++stats_.slab_migrations;
+        return true;
+      }
+    }
+    if (budget == 0) return false;
+    --budget;
+    if (!EvictClassLru(from_c)) return false;
+  }
+}
+
+std::optional<AccessClock> CacheEngine::OldestAccess(ClassId c) const {
+  std::optional<AccessClock> oldest;
+  for (SubclassId s = 0; s < bands_.num_bands(); ++s) {
+    const LruStack::Node* bottom = StackOf(c, s).Bottom();
+    if (bottom == nullptr) continue;
+    const AccessClock age = items_[bottom->value].last_access;
+    if (!oldest || age < *oldest) oldest = age;
+  }
+  return oldest;
+}
+
+}  // namespace pamakv

@@ -1,0 +1,42 @@
+#include "pamakv/cache/sharded_cache.hpp"
+
+#include <stdexcept>
+
+namespace pamakv {
+
+ShardedCache::ShardedCache(std::size_t shards, Bytes capacity_bytes,
+                           const EngineFactory& factory) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedCache: need at least one shard");
+  }
+  const Bytes per_shard = capacity_bytes / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto engine = factory(per_shard);
+    if (!engine) {
+      throw std::invalid_argument("ShardedCache: factory returned null");
+    }
+    shards_.push_back(std::move(engine));
+  }
+}
+
+CacheStats ShardedCache::TotalStats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    const CacheStats& s = shard->stats();
+    total.gets += s.gets;
+    total.get_hits += s.get_hits;
+    total.get_misses += s.get_misses;
+    total.sets += s.sets;
+    total.set_updates += s.set_updates;
+    total.set_failures += s.set_failures;
+    total.dels += s.dels;
+    total.evictions += s.evictions;
+    total.slab_migrations += s.slab_migrations;
+    total.ghost_hits += s.ghost_hits;
+    total.miss_penalty_total_us += s.miss_penalty_total_us;
+  }
+  return total;
+}
+
+}  // namespace pamakv

@@ -1,0 +1,21 @@
+#include "pamakv/cache/stats.hpp"
+
+namespace pamakv {
+
+CacheStats CacheStats::Since(const CacheStats& earlier) const noexcept {
+  CacheStats d;
+  d.gets = gets - earlier.gets;
+  d.get_hits = get_hits - earlier.get_hits;
+  d.get_misses = get_misses - earlier.get_misses;
+  d.sets = sets - earlier.sets;
+  d.set_updates = set_updates - earlier.set_updates;
+  d.set_failures = set_failures - earlier.set_failures;
+  d.dels = dels - earlier.dels;
+  d.evictions = evictions - earlier.evictions;
+  d.slab_migrations = slab_migrations - earlier.slab_migrations;
+  d.ghost_hits = ghost_hits - earlier.ghost_hits;
+  d.miss_penalty_total_us = miss_penalty_total_us - earlier.miss_penalty_total_us;
+  return d;
+}
+
+}  // namespace pamakv

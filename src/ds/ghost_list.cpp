@@ -1,0 +1,76 @@
+#include "pamakv/ds/ghost_list.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pamakv {
+
+GhostList::GhostList(std::size_t capacity)
+    : entries_(capacity ? capacity : 1), live_counts_(capacity ? capacity : 1) {
+  if (capacity == 0) {
+    throw std::invalid_argument("GhostList: capacity must be > 0");
+  }
+}
+
+void GhostList::Expire(std::size_t slot) {
+  Entry& e = entries_[slot];
+  if (!e.live) return;
+  e.live = false;
+  live_counts_.Add(slot, -1);
+  const auto it = map_.find(e.key);
+  // Only erase if the map still points at this entry (it may have been
+  // superseded by a newer ghost entry for the same key).
+  if (it != map_.end() && it->second == e.seq) map_.erase(it);
+}
+
+void GhostList::Push(KeyId key, MicroSecs penalty) {
+  // Drop a stale entry for the same key so ranks reflect the newest
+  // eviction only.
+  Remove(key);
+  const std::uint64_t seq = next_seq_++;
+  const std::size_t slot = SlotOf(seq);
+  Expire(slot);
+  entries_[slot] = Entry{key, penalty, seq, true};
+  live_counts_.Add(slot, +1);
+  map_[key] = seq;
+}
+
+std::size_t GhostList::LiveNewerThan(std::uint64_t seq) const {
+  // Live entries with sequence in (seq, next_seq_). Because at most
+  // `capacity` consecutive sequences can be live, the slot range
+  // [(seq+1) % C, (next_seq_-1) % C] never self-overlaps.
+  if (next_seq_ == 0 || seq + 1 >= next_seq_) return 0;
+  const std::size_t cap = entries_.size();
+  const std::size_t lo = SlotOf(seq + 1);
+  const std::size_t hi = SlotOf(next_seq_ - 1);  // inclusive
+  std::int64_t count = 0;
+  if (lo <= hi) {
+    count = live_counts_.RangeSum(lo, hi + 1);
+  } else {
+    count = live_counts_.RangeSum(lo, cap) + live_counts_.RangeSum(0, hi + 1);
+  }
+  assert(count >= 0);
+  return static_cast<std::size_t>(count);
+}
+
+std::optional<GhostList::Hit> GhostList::Lookup(KeyId key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  const Entry& e = entries_[SlotOf(it->second)];
+  assert(e.live && e.key == key);
+  return Hit{e.penalty, LiveNewerThan(e.seq)};
+}
+
+bool GhostList::Remove(KeyId key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  const std::size_t slot = SlotOf(it->second);
+  Entry& e = entries_[slot];
+  assert(e.live && e.key == key);
+  e.live = false;
+  live_counts_.Add(slot, -1);
+  map_.erase(it);
+  return true;
+}
+
+}  // namespace pamakv

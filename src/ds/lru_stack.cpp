@@ -1,0 +1,167 @@
+#include "pamakv/ds/lru_stack.hpp"
+
+#include <cassert>
+
+namespace pamakv {
+
+LruStack::Node* LruStack::AllocateNode(ItemHandle value) {
+  Node* node = nullptr;
+  if (!free_nodes_.empty()) {
+    node = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    pool_.emplace_back();
+    node = &pool_.back();
+  }
+  *node = Node{};
+  node->value = value;
+  node->priority = rng_.NextU64();
+  return node;
+}
+
+void LruStack::RecycleNode(Node* node) noexcept { free_nodes_.push_back(node); }
+
+void LruStack::RotateUp(Node* n) noexcept {
+  Node* p = n->parent;
+  assert(p != nullptr);
+  Node* g = p->parent;
+  if (p->left == n) {
+    // Right rotation: n rises, p becomes n's right child.
+    p->left = n->right;
+    if (n->right) n->right->parent = p;
+    n->right = p;
+  } else {
+    // Left rotation.
+    p->right = n->left;
+    if (n->left) n->left->parent = p;
+    n->left = p;
+  }
+  p->parent = n;
+  n->parent = g;
+  if (g) {
+    (g->left == p ? g->left : g->right) = n;
+  } else {
+    root_ = n;
+  }
+  Update(p);
+  Update(n);
+}
+
+void LruStack::LinkTop(Node* node) noexcept {
+  node->left = node->right = node->parent = nullptr;
+  node->subtree_size = 1;
+  if (root_ == nullptr) {
+    root_ = node;
+    ++size_;
+    return;
+  }
+  // Attach at the leftmost position (in-order front == MRU top).
+  Node* cur = root_;
+  while (cur->left) cur = cur->left;
+  cur->left = node;
+  node->parent = cur;
+  // Path sizes grew by one.
+  for (Node* p = cur; p; p = p->parent) ++p->subtree_size;
+  // Restore the max-heap property on priorities.
+  while (node->parent && node->priority > node->parent->priority) {
+    RotateUp(node);
+  }
+  ++size_;
+}
+
+LruStack::Node* LruStack::PushTop(ItemHandle value) {
+  Node* node = AllocateNode(value);
+  LinkTop(node);
+  return node;
+}
+
+void LruStack::Unlink(Node* node) noexcept {
+  // Sink the node to a leaf by rotating up its higher-priority child.
+  while (node->left || node->right) {
+    Node* child = nullptr;
+    if (!node->left) {
+      child = node->right;
+    } else if (!node->right) {
+      child = node->left;
+    } else {
+      child = node->left->priority > node->right->priority ? node->left
+                                                           : node->right;
+    }
+    RotateUp(child);
+  }
+  Node* p = node->parent;
+  if (p) {
+    (p->left == node ? p->left : p->right) = nullptr;
+    for (Node* q = p; q; q = q->parent) --q->subtree_size;
+  } else {
+    root_ = nullptr;
+  }
+  node->parent = nullptr;
+  --size_;
+}
+
+void LruStack::Erase(Node* node) noexcept {
+  Unlink(node);
+  RecycleNode(node);
+}
+
+void LruStack::MoveToTop(Node* node) noexcept {
+  Unlink(node);
+  node->priority = rng_.NextU64();
+  LinkTop(node);
+}
+
+std::size_t LruStack::RankFromTop(const Node* node) const noexcept {
+  std::size_t rank = SizeOf(node->left);
+  for (const Node* cur = node; cur->parent; cur = cur->parent) {
+    if (cur->parent->right == cur) {
+      rank += SizeOf(cur->parent->left) + 1;
+    }
+  }
+  return rank;
+}
+
+LruStack::Node* LruStack::KthFromBottom(std::size_t k) const noexcept {
+  if (k >= size_) return nullptr;
+  // k-th from bottom == (size-1-k)-th from top; select by in-order index.
+  std::size_t idx = size_ - 1 - k;
+  Node* cur = root_;
+  for (;;) {
+    const std::size_t left = SizeOf(cur->left);
+    if (idx < left) {
+      cur = cur->left;
+    } else if (idx == left) {
+      return cur;
+    } else {
+      idx -= left + 1;
+      cur = cur->right;
+    }
+  }
+}
+
+LruStack::Node* LruStack::TowardTop(Node* node) noexcept {
+  // In-order predecessor (position - 1).
+  if (node->left) {
+    Node* cur = node->left;
+    while (cur->right) cur = cur->right;
+    return cur;
+  }
+  Node* cur = node;
+  while (cur->parent && cur->parent->left == cur) cur = cur->parent;
+  return cur->parent;
+}
+
+bool LruStack::CheckSubtree(const Node* n, const Node* parent) const noexcept {
+  if (n == nullptr) return true;
+  if (n->parent != parent) return false;
+  if (parent && n->priority > parent->priority) return false;
+  if (n->subtree_size != 1 + SizeOf(n->left) + SizeOf(n->right)) return false;
+  return CheckSubtree(n->left, n) && CheckSubtree(n->right, n);
+}
+
+bool LruStack::CheckInvariants() const noexcept {
+  if (SizeOf(root_) != size_) return false;
+  return CheckSubtree(root_, nullptr);
+}
+
+}  // namespace pamakv

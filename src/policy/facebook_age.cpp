@@ -1,0 +1,69 @@
+#include "pamakv/policy/facebook_age.hpp"
+
+#include <vector>
+
+namespace pamakv {
+
+void FacebookAgePolicy::OnTick(AccessClock now) {
+  if (now - last_check_ < config_.check_interval) return;
+  last_check_ = now;
+  if (engine().pool().free_slabs() > 0) return;  // nothing to balance yet
+  BalanceOnce(now);
+}
+
+bool FacebookAgePolicy::BalanceOnce(AccessClock now) {
+  // "Age" of a class = how long ago its LRU item was last accessed.
+  // A small age means the class is churning (its LRU tail is young).
+  struct ClassAge {
+    ClassId cls;
+    AccessClock age;
+  };
+  std::vector<ClassAge> ages;
+  for (ClassId c = 0; c < engine().classes().num_classes(); ++c) {
+    const auto oldest = engine().OldestAccess(c);
+    if (!oldest) continue;
+    ages.push_back({c, now - *oldest});
+  }
+  if (ages.size() < 2) return false;
+
+  ClassAge youngest = ages.front();
+  ClassAge oldest = ages.front();
+  double age_sum = 0.0;
+  for (const auto& a : ages) {
+    if (a.age < youngest.age) youngest = a;
+    if (a.age > oldest.age) oldest = a;
+    age_sum += static_cast<double>(a.age);
+  }
+  // Average over the *other* classes, per the paper's description.
+  const double avg_others = (age_sum - static_cast<double>(youngest.age)) /
+                            static_cast<double>(ages.size() - 1);
+  if (static_cast<double>(youngest.age) >=
+      (1.0 - config_.youth_threshold) * avg_others) {
+    return false;  // balanced enough
+  }
+  if (youngest.cls == oldest.cls) return false;
+  return engine().MigrateSlabClassLru(oldest.cls, youngest.cls);
+}
+
+bool FacebookAgePolicy::MakeRoom(ClassId cls, SubclassId sub) {
+  (void)sub;
+  // The balancer runs in the background (OnTick); the immediate need is
+  // served by in-class LRU replacement, like stock Memcached.
+  if (engine().EvictClassLru(cls)) return true;
+  // Starved class: take from the class with the oldest LRU tail.
+  std::optional<ClassId> donor;
+  std::optional<AccessClock> donor_age;
+  for (ClassId c = 0; c < engine().classes().num_classes(); ++c) {
+    if (c == cls || engine().pool().ClassSlabCount(c) == 0) continue;
+    const auto oldest = engine().OldestAccess(c);
+    if (!oldest) continue;
+    if (!donor_age || *oldest < *donor_age) {
+      donor_age = oldest;
+      donor = c;
+    }
+  }
+  if (donor) return engine().MigrateSlabClassLru(*donor, cls);
+  return false;
+}
+
+}  // namespace pamakv

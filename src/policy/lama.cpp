@@ -1,0 +1,141 @@
+#include "pamakv/policy/lama.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pamakv {
+
+void LamaPolicy::Attach(CacheEngine& engine) {
+  AllocationPolicy::Attach(engine);
+  const std::size_t classes = engine.classes().num_classes();
+  const std::size_t depth = engine.pool().total_slabs() + 1;
+  hist_.assign(classes, std::vector<double>(depth, 0.0));
+  target_.assign(classes, 0);
+}
+
+void LamaPolicy::OnHit(const Item& item) {
+  // Mattson depth of the hit, in slabs of the item's class. With a single
+  // penalty band (LAMA's intended configuration) the subclass stack is the
+  // class stack, so this is the exact class-level reuse depth.
+  const std::size_t spp = engine().classes().SlotsPerSlab(item.cls);
+  const std::size_t depth =
+      engine().StackOf(item.cls, item.sub).RankFromTop(item.node) / spp;
+  auto& hist = hist_[item.cls];
+  const std::size_t bucket = std::min(depth, hist.size() - 1);
+  hist[bucket] += config_.penalty_weighted
+                      ? static_cast<double>(item.penalty)
+                      : 1.0;
+}
+
+void LamaPolicy::OnTick(AccessClock now) {
+  if (now - window_start_ < config_.window_accesses) return;
+  window_start_ = now;
+  Repartition();
+}
+
+void LamaPolicy::Repartition() {
+  const std::size_t num_classes = hist_.size();
+  const std::size_t total = engine().pool().total_slabs();
+  const std::size_t g = std::max<std::size_t>(1, config_.granularity_slabs);
+  const std::size_t granules = total / g;
+  if (granules == 0) return;
+
+  // gain[c][j] = value mass class c catches with j*g slabs (prefix of its
+  // depth histogram).
+  std::vector<std::vector<double>> gain(num_classes,
+                                        std::vector<double>(granules + 1, 0.0));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double cum = 0.0;
+    std::size_t d = 0;
+    for (std::size_t j = 1; j <= granules; ++j) {
+      const std::size_t upto = j * g;
+      for (; d < upto && d < hist_[c].size(); ++d) cum += hist_[c][d];
+      gain[c][j] = cum;
+    }
+  }
+
+  // DP over classes: best[j] = max value using j granules across the
+  // classes seen so far; choice[c][j] = granules given to class c.
+  std::vector<double> best(granules + 1, 0.0);
+  std::vector<std::vector<std::size_t>> choice(
+      num_classes, std::vector<std::size_t>(granules + 1, 0));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::vector<double> next(granules + 1, -1.0);
+    for (std::size_t j = 0; j <= granules; ++j) {
+      for (std::size_t k = 0; k <= j; ++k) {
+        const double v = best[j - k] + gain[c][k];
+        if (v > next[j]) {
+          next[j] = v;
+          choice[c][j] = k;
+        }
+      }
+    }
+    best = std::move(next);
+  }
+
+  // Backtrack the optimal split.
+  std::size_t remaining = granules;
+  std::vector<std::size_t> alloc(num_classes, 0);
+  for (std::size_t c = num_classes; c-- > 0;) {
+    alloc[c] = choice[c][remaining];
+    remaining -= alloc[c];
+  }
+  // Granules the DP was indifferent about (no marginal gain anywhere) go to
+  // the most active class so the whole cache stays assigned.
+  if (remaining > 0) {
+    std::size_t busiest = 0;
+    double most_mass = -1.0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (gain[c][granules] > most_mass) {
+        most_mass = gain[c][granules];
+        busiest = c;
+      }
+    }
+    alloc[busiest] += remaining;
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) target_[c] = alloc[c] * g;
+  // Slabs lost to granularity rounding (total % g) stay with whoever holds
+  // them; the targets govern only slab *movement* pressure.
+
+  // Age the histograms so the next window blends history with fresh data.
+  const double keep = std::clamp(1.0 - config_.history_alpha, 0.0, 1.0);
+  for (auto& h : hist_) {
+    for (auto& v : h) v *= keep;
+  }
+}
+
+bool LamaPolicy::MakeRoom(ClassId cls, SubclassId sub) {
+  (void)sub;
+  const auto& pool = engine().pool();
+  // If the requester is under its target, pull a slab from the most
+  // over-allocated donor.
+  if (pool.ClassSlabCount(cls) < target_[cls]) {
+    std::optional<ClassId> donor;
+    std::size_t worst_excess = 0;
+    for (ClassId c = 0; c < engine().classes().num_classes(); ++c) {
+      if (c == cls || pool.ClassSlabCount(c) == 0) continue;
+      const std::size_t have = pool.ClassSlabCount(c);
+      const std::size_t excess = have > target_[c] ? have - target_[c] : 0;
+      if (excess > worst_excess) {
+        worst_excess = excess;
+        donor = c;
+      }
+    }
+    if (donor && engine().MigrateSlabClassLru(*donor, cls)) return true;
+  }
+  if (engine().EvictClassLru(cls)) return true;
+  // Starved class with no target yet: take from the largest holder.
+  std::optional<ClassId> donor;
+  std::size_t most = 0;
+  for (ClassId c = 0; c < engine().classes().num_classes(); ++c) {
+    if (c == cls) continue;
+    if (pool.ClassSlabCount(c) > most) {
+      most = pool.ClassSlabCount(c);
+      donor = c;
+    }
+  }
+  if (donor) return engine().MigrateSlabClassLru(*donor, cls);
+  return false;
+}
+
+}  // namespace pamakv

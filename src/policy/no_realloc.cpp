@@ -1,0 +1,13 @@
+#include "pamakv/policy/no_realloc.hpp"
+
+namespace pamakv {
+
+bool NoReallocPolicy::MakeRoom(ClassId cls, SubclassId sub) {
+  (void)sub;
+  // No reallocation, ever: the only way to free a slot is to evict the
+  // class's own LRU item. With zero slabs assigned, the store fails.
+  if (engine().pool().ClassSlabCount(cls) == 0) return false;
+  return engine().EvictClassLru(cls);
+}
+
+}  // namespace pamakv

@@ -1,0 +1,123 @@
+#include "pamakv/policy/pama_value_tracker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pamakv {
+
+PamaValueTracker::PamaValueTracker(const PamaConfig& config,
+                                   const CacheEngine& engine)
+    : config_(config),
+      segments_(config.reference_segments + 1),
+      num_subclasses_(engine.num_subclasses()) {
+  const std::uint32_t num_classes = engine.classes().num_classes();
+  state_.resize(static_cast<std::size_t>(num_classes) * num_subclasses_);
+  for (ClassId c = 0; c < num_classes; ++c) {
+    const std::size_t spp = engine.classes().SlotsPerSlab(c);
+    for (SubclassId s = 0; s < num_subclasses_; ++s) {
+      SubclassState& st = state_[Index(c, s)];
+      st.seg_values.assign(segments_, 0.0);
+      st.ghost_values.assign(segments_, 0.0);
+      if (config_.use_bloom) {
+        st.filters = std::make_unique<SegmentFilterSet>(segments_, spp,
+                                                        config_.bloom_fpr);
+      }
+    }
+  }
+}
+
+void PamaValueTracker::OnHit(const CacheEngine& engine, const Item& item) {
+  SubclassState& st = state_[Index(item.cls, item.sub)];
+  if (config_.use_bloom) {
+    const auto seg = st.filters->FindSegment(item.key);
+    if (seg) {
+      st.seg_values[*seg] += ValueOf(item.penalty);
+      // The hit promotes the item out of the snapshot region.
+      st.filters->MarkRemoved(item.key);
+    }
+    return;
+  }
+  const std::size_t spp = engine.classes().SlotsPerSlab(item.cls);
+  const std::size_t rank =
+      engine.StackOf(item.cls, item.sub).RankFromBottom(item.node);
+  if (rank < segments_ * spp) {
+    st.seg_values[rank / spp] += ValueOf(item.penalty);
+  }
+}
+
+void PamaValueTracker::OnEvict(const Item& item) {
+  if (!config_.use_bloom) return;
+  // The key sinks out of the cache; it must stop answering as a segment
+  // member (it may reappear via the ghost path instead).
+  state_[Index(item.cls, item.sub)].filters->MarkRemoved(item.key);
+}
+
+void PamaValueTracker::OnGhostHit(ClassId c, SubclassId s,
+                                  std::size_t ghost_segment,
+                                  MicroSecs penalty) {
+  if (ghost_segment >= segments_) return;  // beyond the tracked range
+  state_[Index(c, s)].ghost_values[ghost_segment] += ValueOf(penalty);
+}
+
+void PamaValueTracker::RotateWindow(CacheEngine& engine) {
+  const double decay = std::clamp(config_.value_decay, 0.0, 1.0);
+  const std::uint32_t num_classes = engine.classes().num_classes();
+  for (ClassId c = 0; c < num_classes; ++c) {
+    const std::size_t spp = engine.classes().SlotsPerSlab(c);
+    for (SubclassId s = 0; s < num_subclasses_; ++s) {
+      SubclassState& st = state_[Index(c, s)];
+      for (auto& v : st.seg_values) v *= decay;
+      for (auto& v : st.ghost_values) v *= decay;
+      if (!config_.use_bloom) continue;
+      // Rebuild the segment filters from the stack's current bottom region.
+      st.filters->BeginRebuild();
+      const LruStack& stack = engine.StackOf(c, s);
+      LruStack::Node* node = stack.Bottom();
+      const std::size_t region = segments_ * spp;
+      for (std::size_t k = 0; k < region && node != nullptr; ++k) {
+        st.filters->AddToSegment(k / spp, engine.ItemAt(node->value).key);
+        node = LruStack::TowardTop(node);
+      }
+    }
+  }
+}
+
+double PamaValueTracker::Weighted(const std::vector<double>& values) const noexcept {
+  // Eq. 2: V = sum_i values[i] / 2^(i+1); segment 0 (candidate/receiving)
+  // carries the highest weight.
+  double v = 0.0;
+  double weight = 0.5;
+  for (const double x : values) {
+    v += x * weight;
+    weight *= 0.5;
+  }
+  return v;
+}
+
+double PamaValueTracker::OutgoingValue(ClassId c, SubclassId s) const {
+  return Weighted(state_[Index(c, s)].seg_values);
+}
+
+double PamaValueTracker::IncomingValue(ClassId c, SubclassId s) const {
+  return Weighted(state_[Index(c, s)].ghost_values);
+}
+
+double PamaValueTracker::SegmentValue(ClassId c, SubclassId s,
+                                      std::size_t i) const {
+  return state_[Index(c, s)].seg_values.at(i);
+}
+
+double PamaValueTracker::GhostSegmentValue(ClassId c, SubclassId s,
+                                           std::size_t i) const {
+  return state_[Index(c, s)].ghost_values.at(i);
+}
+
+std::size_t PamaValueTracker::FilterFootprintBytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& st : state_) {
+    if (st.filters) total += st.filters->footprint_bytes();
+  }
+  return total;
+}
+
+}  // namespace pamakv

@@ -1,0 +1,9 @@
+// Anchor translation unit for AllocationPolicy's vtable/key functions.
+#include "pamakv/policy/policy.hpp"
+
+namespace pamakv {
+
+// Intentionally empty: AllocationPolicy is an interface; concrete policies
+// live in their own translation units.
+
+}  // namespace pamakv

@@ -1,0 +1,80 @@
+#include "pamakv/policy/psa.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pamakv {
+
+void PsaPolicy::Attach(CacheEngine& engine) {
+  AllocationPolicy::Attach(engine);
+  requests_.assign(engine.classes().num_classes(), 0);
+  misses_.assign(engine.classes().num_classes(), 0);
+}
+
+void PsaPolicy::OnTick(AccessClock now) {
+  if (now - window_start_ >= config_.window_accesses) {
+    std::fill(requests_.begin(), requests_.end(), 0);
+    std::fill(misses_.begin(), misses_.end(), 0);
+    window_start_ = now;
+  }
+}
+
+void PsaPolicy::OnHit(const Item& item) { ++requests_[item.cls]; }
+
+void PsaPolicy::OnMiss(KeyId /*key*/, Bytes /*size*/, MicroSecs /*penalty*/,
+                       ClassId cls, SubclassId /*sub*/) {
+  ++requests_[cls];
+  ++misses_[cls];
+  ++misses_since_relocation_;
+  MaybeRelocate();
+}
+
+std::optional<ClassId> PsaPolicy::LowestDensityDonor() const {
+  // Density = requests per slab in the current window; the donor is the
+  // least-dense class that can actually give up a slab.
+  std::optional<ClassId> donor;
+  double lowest = std::numeric_limits<double>::max();
+  const auto& pool = engine().pool();
+  for (ClassId c = 0; c < engine().classes().num_classes(); ++c) {
+    const std::size_t slabs = pool.ClassSlabCount(c);
+    if (slabs == 0) continue;
+    const double density =
+        static_cast<double>(requests_[c]) / static_cast<double>(slabs);
+    if (density < lowest) {
+      lowest = density;
+      donor = c;
+    }
+  }
+  return donor;
+}
+
+void PsaPolicy::MaybeRelocate() {
+  if (misses_since_relocation_ < config_.misses_per_relocation) return;
+  // Free memory left: nothing to rebalance yet, stores are still absorbed
+  // by the pool. Postpone the countdown until memory is committed.
+  if (engine().pool().free_slabs() > 0) return;
+  misses_since_relocation_ = 0;
+
+  const auto receiver_it = std::max_element(misses_.begin(), misses_.end());
+  const auto receiver = static_cast<ClassId>(receiver_it - misses_.begin());
+  if (*receiver_it == 0) return;
+
+  const auto donor = LowestDensityDonor();
+  if (!donor || *donor == receiver) return;
+  engine().MigrateSlabClassLru(*donor, receiver);
+}
+
+bool PsaPolicy::MakeRoom(ClassId cls, SubclassId sub) {
+  (void)sub;
+  // Between periodic relocations, PSA replaces within the class.
+  if (engine().EvictClassLru(cls)) return true;
+  // The class owns nothing (e.g. it appeared after memory filled up):
+  // pull a slab from the lowest-density donor so it is not starved forever.
+  const auto donor = LowestDensityDonor();
+  if (donor && *donor != cls) {
+    return engine().MigrateSlabClassLru(*donor, cls);
+  }
+  return false;
+}
+
+}  // namespace pamakv

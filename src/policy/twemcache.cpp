@@ -1,0 +1,31 @@
+#include "pamakv/policy/twemcache.hpp"
+
+#include <vector>
+
+namespace pamakv {
+
+bool TwemcachePolicy::MakeRoom(ClassId cls, SubclassId sub) {
+  (void)sub;
+  // Candidate donors: any class currently owning a slab (the requester
+  // included — Twemcache may evict one of its own slabs).
+  std::vector<ClassId> donors;
+  const auto& pool = engine().pool();
+  for (ClassId c = 0; c < engine().classes().num_classes(); ++c) {
+    if (pool.ClassSlabCount(c) > 0) donors.push_back(c);
+  }
+  if (donors.empty()) return false;
+
+  const ClassId donor =
+      donors[rng_.NextBounded(donors.size())];
+  if (donor == cls) {
+    // Reassigning a class's slab to itself: the slab's items are evicted
+    // and the space is immediately reusable by the requester.
+    return engine().EvictClassLru(cls);
+  }
+  if (engine().MigrateSlabClassLru(donor, cls)) return true;
+  // Donor could not actually supply a slab (rare): fall back to in-class
+  // LRU replacement so the store can proceed.
+  return engine().EvictClassLru(cls);
+}
+
+}  // namespace pamakv

@@ -1,0 +1,55 @@
+#include "pamakv/sim/metrics.hpp"
+
+#include "pamakv/util/csv.hpp"
+
+namespace pamakv {
+
+void WriteWindowCsv(std::ostream& out, const SimResult& result,
+                    bool include_header) {
+  CsvWriter csv(out);
+  if (include_header) {
+    csv.WriteHeader({"scheme", "workload", "cache_mb", "window", "gets_total",
+                     "hit_ratio", "avg_service_us", "evictions",
+                     "slab_migrations"});
+  }
+  const double cache_mb =
+      static_cast<double>(result.cache_bytes) / (1024.0 * 1024.0);
+  for (const auto& w : result.windows) {
+    csv.WriteRow(result.scheme, result.workload, cache_mb, w.window_index,
+                 w.gets_total, w.hit_ratio, w.avg_service_time_us, w.evictions,
+                 w.slab_migrations);
+  }
+}
+
+void WriteClassSlabCsv(std::ostream& out, const SimResult& result,
+                       bool include_header) {
+  CsvWriter csv(out);
+  if (include_header) {
+    csv.WriteHeader({"scheme", "workload", "window", "class", "slabs"});
+  }
+  for (const auto& w : result.windows) {
+    for (std::size_t c = 0; c < w.class_slabs.size(); ++c) {
+      csv.WriteRow(result.scheme, result.workload, w.window_index, c,
+                   w.class_slabs[c]);
+    }
+  }
+}
+
+void WriteSubclassCsv(std::ostream& out, const SimResult& result, ClassId cls,
+                      std::uint32_t num_subclasses, bool include_header) {
+  CsvWriter csv(out);
+  if (include_header) {
+    csv.WriteHeader({"scheme", "workload", "window", "class", "subclass",
+                     "items"});
+  }
+  for (const auto& w : result.windows) {
+    const std::size_t base = static_cast<std::size_t>(cls) * num_subclasses;
+    if (base + num_subclasses > w.subclass_items.size()) continue;
+    for (std::uint32_t s = 0; s < num_subclasses; ++s) {
+      csv.WriteRow(result.scheme, result.workload, w.window_index, cls, s,
+                   w.subclass_items[base + s]);
+    }
+  }
+}
+
+}  // namespace pamakv

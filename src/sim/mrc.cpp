@@ -1,0 +1,118 @@
+#include "pamakv/sim/mrc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pamakv {
+
+MattsonProfiler::MattsonProfiler(Bytes bucket_bytes)
+    : bucket_bytes_(bucket_bytes ? bucket_bytes : 1) {}
+
+Bytes MattsonProfiler::DepthBytes(std::size_t rank) const {
+  if (stack_.empty()) return 0;
+  const double mean =
+      static_cast<double>(total_bytes_) / static_cast<double>(stack_.size());
+  return static_cast<Bytes>(mean * static_cast<double>(rank));
+}
+
+void MattsonProfiler::Touch(KeyId key, Bytes size, MicroSecs penalty,
+                            bool count) {
+  const ItemHandle h = index_.Find(key);
+  if (h != kInvalidHandle) {
+    Tracked& t = items_[h];
+    if (count) {
+      // Reuse depth measured from the top (exclusive of the item itself).
+      const std::size_t rank = stack_.RankFromTop(t.node);
+      const auto bucket =
+          static_cast<std::size_t>(DepthBytes(rank) / bucket_bytes_);
+      if (bucket >= depth_hits_.size()) {
+        depth_hits_.resize(bucket + 1, 0);
+        depth_penalty_us_.resize(bucket + 1, 0.0);
+      }
+      ++depth_hits_[bucket];
+      depth_penalty_us_[bucket] += static_cast<double>(penalty);
+    }
+    // Size updates keep the byte accounting honest.
+    total_bytes_ += size;
+    total_bytes_ -= t.size;
+    t.size = size;
+    stack_.MoveToTop(t.node);
+    return;
+  }
+  if (count) {
+    ++cold_misses_;
+    penalty_cold_us_ += static_cast<double>(penalty);
+  }
+  ItemHandle handle;
+  if (!free_items_.empty()) {
+    handle = free_items_.back();
+    free_items_.pop_back();
+  } else {
+    items_.emplace_back();
+    handle = static_cast<ItemHandle>(items_.size() - 1);
+  }
+  Tracked& t = items_[handle];
+  t.key = key;
+  t.size = size;
+  t.node = stack_.PushTop(handle);
+  index_.Upsert(key, handle);
+  total_bytes_ += size;
+}
+
+void MattsonProfiler::Record(const Request& request) {
+  switch (request.op) {
+    case Op::kGet:
+      ++gets_;
+      Touch(request.key, request.size, request.penalty_us, /*count=*/true);
+      break;
+    case Op::kSet:
+      Touch(request.key, request.size, request.penalty_us, /*count=*/false);
+      break;
+    case Op::kDel: {
+      const ItemHandle h = index_.Find(request.key);
+      if (h == kInvalidHandle) break;
+      Tracked& t = items_[h];
+      total_bytes_ -= t.size;
+      stack_.Erase(t.node);
+      t.node = nullptr;
+      index_.Erase(request.key);
+      free_items_.push_back(h);
+      break;
+    }
+  }
+}
+
+void MattsonProfiler::Profile(TraceSource& trace) {
+  Request request;
+  while (trace.Next(request)) Record(request);
+}
+
+MattsonProfiler::Curve MattsonProfiler::Build() const {
+  Curve curve;
+  curve.bucket_bytes = bucket_bytes_;
+  curve.gets = gets_;
+  curve.cold_misses = cold_misses_;
+  if (gets_ == 0) return curve;
+
+  // Misses at cache size s = hits at depths beyond s + cold misses.
+  const double gets = static_cast<double>(gets_);
+  double hits_within = 0.0;
+  double penalty_within = 0.0;
+  double total_penalty = penalty_cold_us_;
+  for (const double p : depth_penalty_us_) total_penalty += p;
+  double total_hits = static_cast<double>(cold_misses_);
+  for (const auto h : depth_hits_) total_hits += static_cast<double>(h);
+
+  curve.miss_ratio.reserve(depth_hits_.size());
+  curve.miss_penalty_per_get_us.reserve(depth_hits_.size());
+  for (std::size_t i = 0; i < depth_hits_.size(); ++i) {
+    hits_within += static_cast<double>(depth_hits_[i]);
+    penalty_within += depth_penalty_us_[i];
+    curve.miss_ratio.push_back((total_hits - hits_within) / gets);
+    curve.miss_penalty_per_get_us.push_back(
+        (total_penalty - penalty_within) / gets);
+  }
+  return curve;
+}
+
+}  // namespace pamakv

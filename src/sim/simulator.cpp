@@ -1,0 +1,94 @@
+#include "pamakv/sim/simulator.hpp"
+
+#include <chrono>
+
+#include "pamakv/policy/policy.hpp"
+
+namespace pamakv {
+
+void Simulator::SampleWindow(const CacheEngine& engine,
+                             const CacheStats& delta, SimResult& result,
+                             std::uint64_t window_index) const {
+  WindowSample sample;
+  sample.window_index = window_index;
+  sample.gets_total = engine.stats().gets;
+  sample.hit_ratio = delta.HitRatio();
+  sample.avg_service_time_us = delta.AvgServiceTimeUs(engine.hit_time_us());
+  sample.evictions = delta.evictions;
+  sample.slab_migrations = delta.slab_migrations;
+  if (config_.capture_class_slabs) {
+    sample.class_slabs.reserve(engine.classes().num_classes());
+    for (ClassId c = 0; c < engine.classes().num_classes(); ++c) {
+      sample.class_slabs.push_back(engine.pool().ClassSlabCount(c));
+    }
+  }
+  if (config_.capture_subclass_items) {
+    const std::uint32_t subs = engine.num_subclasses();
+    sample.subclass_items.reserve(
+        static_cast<std::size_t>(engine.classes().num_classes()) * subs);
+    sample.subclass_slabs.reserve(sample.subclass_items.capacity());
+    for (ClassId c = 0; c < engine.classes().num_classes(); ++c) {
+      for (SubclassId s = 0; s < subs; ++s) {
+        sample.subclass_items.push_back(engine.SubclassItemCount(c, s));
+        sample.subclass_slabs.push_back(engine.pool().SlabCount(c, s));
+      }
+    }
+  }
+  result.windows.push_back(std::move(sample));
+}
+
+SimResult Simulator::Run(CacheEngine& engine, TraceSource& trace) {
+  SimResult result;
+  result.scheme = std::string(engine.policy().name());
+  result.cache_bytes =
+      static_cast<Bytes>(engine.pool().total_slabs()) * engine.classes().slab_bytes();
+
+  const auto start = std::chrono::steady_clock::now();
+  CacheStats window_base = engine.stats();
+  std::uint64_t gets_in_window = 0;
+  std::uint64_t window_index = 0;
+
+  Request request;
+  while (trace.Next(request)) {
+    ++result.requests_replayed;
+    switch (request.op) {
+      case Op::kGet: {
+        const GetResult r = engine.Get(request.key, request.size,
+                                       request.penalty_us);
+        if (!r.hit && config_.write_allocate) {
+          // The client fetches the value from the back end (paying the
+          // penalty, already charged) and re-caches it.
+          engine.Set(request.key, request.size, request.penalty_us);
+        }
+        if (++gets_in_window >= config_.window_gets) {
+          const CacheStats now = engine.stats();
+          SampleWindow(engine, now.Since(window_base), result, window_index++);
+          window_base = now;
+          gets_in_window = 0;
+        }
+        break;
+      }
+      case Op::kSet:
+        engine.Set(request.key, request.size, request.penalty_us);
+        break;
+      case Op::kDel:
+        engine.Del(request.key);
+        break;
+    }
+  }
+  // Flush a trailing partial window so short runs still report.
+  if (gets_in_window > 0) {
+    SampleWindow(engine, engine.stats().Since(window_base), result,
+                 window_index);
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.final_stats = engine.stats();
+  result.overall_hit_ratio = result.final_stats.HitRatio();
+  result.overall_avg_service_time_us =
+      result.final_stats.AvgServiceTimeUs(engine.hit_time_us());
+  return result;
+}
+
+}  // namespace pamakv

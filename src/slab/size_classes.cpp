@@ -1,0 +1,41 @@
+#include "pamakv/slab/size_classes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pamakv {
+
+SizeClassTable::SizeClassTable(const SizeClassConfig& config)
+    : slab_bytes_(config.slab_bytes) {
+  if (config.slab_bytes == 0 || config.min_slot_bytes == 0 ||
+      config.num_classes == 0) {
+    throw std::invalid_argument("SizeClassTable: zero-valued config field");
+  }
+  if (config.growth_factor <= 1.0) {
+    throw std::invalid_argument("SizeClassTable: growth factor must exceed 1");
+  }
+  double slot = static_cast<double>(config.min_slot_bytes);
+  slot_bytes_.reserve(config.num_classes);
+  slots_per_slab_.reserve(config.num_classes);
+  for (std::uint32_t c = 0; c < config.num_classes; ++c) {
+    const auto bytes = static_cast<Bytes>(std::llround(slot));
+    if (bytes > config.slab_bytes) {
+      throw std::invalid_argument(
+          "SizeClassTable: class slot exceeds slab size; reduce num_classes "
+          "or grow slab_bytes");
+    }
+    slot_bytes_.push_back(bytes);
+    slots_per_slab_.push_back(static_cast<std::size_t>(config.slab_bytes / bytes));
+    slot *= config.growth_factor;
+  }
+}
+
+std::optional<ClassId> SizeClassTable::ClassForSize(Bytes size) const noexcept {
+  // Classes are sorted by slot size; binary search for the first that fits.
+  const auto it = std::lower_bound(slot_bytes_.begin(), slot_bytes_.end(), size);
+  if (it == slot_bytes_.end()) return std::nullopt;
+  return static_cast<ClassId>(it - slot_bytes_.begin());
+}
+
+}  // namespace pamakv

@@ -1,0 +1,65 @@
+#include "pamakv/slab/slab_pool.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pamakv {
+
+SlabPool::SlabPool(Bytes capacity_bytes, const SizeClassTable& classes,
+                   std::uint32_t num_subclasses)
+    : classes_(&classes),
+      num_subclasses_(num_subclasses ? num_subclasses : 1),
+      total_slabs_(static_cast<std::size_t>(capacity_bytes / classes.slab_bytes())),
+      free_slabs_(total_slabs_),
+      slab_count_(static_cast<std::size_t>(classes.num_classes()) * num_subclasses_, 0),
+      slots_in_use_(slab_count_.size(), 0) {
+  if (total_slabs_ == 0) {
+    throw std::invalid_argument("SlabPool: capacity smaller than one slab");
+  }
+}
+
+bool SlabPool::GrantFreeSlab(ClassId c, SubclassId s) {
+  if (free_slabs_ == 0) return false;
+  --free_slabs_;
+  ++slab_count_.at(Index(c, s));
+  return true;
+}
+
+void SlabPool::TransferSlab(ClassId from_c, SubclassId from_s, ClassId to_c,
+                            SubclassId to_s) {
+  assert(CanReleaseSlab(from_c, from_s));
+  --slab_count_.at(Index(from_c, from_s));
+  ++slab_count_.at(Index(to_c, to_s));
+}
+
+bool SlabPool::AcquireSlot(ClassId c, SubclassId s) {
+  if (FreeSlots(c, s) == 0) return false;
+  ++slots_in_use_.at(Index(c, s));
+  return true;
+}
+
+void SlabPool::ReleaseSlot(ClassId c, SubclassId s) {
+  assert(slots_in_use_.at(Index(c, s)) > 0);
+  --slots_in_use_.at(Index(c, s));
+}
+
+std::size_t SlabPool::EvictionsNeededToFreeSlab(ClassId c, SubclassId s) const {
+  if (SlabCount(c, s) == 0) return 0;
+  const std::size_t spp = classes_->SlotsPerSlab(c);
+  const std::size_t free = FreeSlots(c, s);
+  return free >= spp ? 0 : spp - free;
+}
+
+std::size_t SlabPool::ClassSlabCount(ClassId c) const {
+  std::size_t total = 0;
+  for (SubclassId s = 0; s < num_subclasses_; ++s) total += SlabCount(c, s);
+  return total;
+}
+
+std::size_t SlabPool::ClassSlotsInUse(ClassId c) const {
+  std::size_t total = 0;
+  for (SubclassId s = 0; s < num_subclasses_; ++s) total += SlotsInUse(c, s);
+  return total;
+}
+
+}  // namespace pamakv

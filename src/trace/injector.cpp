@@ -1,0 +1,81 @@
+#include "pamakv/trace/injector.hpp"
+
+#include <stdexcept>
+
+namespace pamakv {
+
+namespace {
+constexpr KeyId kBurstKeyBase = 1ULL << 44;  // disjoint from all other keys
+}
+
+ColdBurstInjector::ColdBurstInjector(std::unique_ptr<TraceSource> inner,
+                                     const ColdBurstConfig& config,
+                                     const SizeClassConfig& geometry)
+    : inner_(std::move(inner)),
+      config_(config),
+      classes_(geometry),
+      rng_(config.seed) {
+  if (config_.impacted_classes.empty()) {
+    throw std::invalid_argument("ColdBurstInjector: no impacted classes");
+  }
+  for (const ClassId c : config_.impacted_classes) {
+    if (c >= classes_.num_classes()) {
+      throw std::invalid_argument("ColdBurstInjector: class out of range");
+    }
+  }
+}
+
+bool ColdBurstInjector::EmitBurstRequest(Request& out) {
+  // Each injected item is a GET (cold miss) immediately followed by a SET
+  // of the same key — the Memcached access-then-add pattern.
+  if (pending_set_) {
+    out = pending_request_;
+    out.op = Op::kSet;
+    pending_set_ = false;
+    return true;
+  }
+  if (injected_bytes_ >= config_.total_bytes) {
+    bursting_ = false;
+    burst_done_ = true;
+    return false;
+  }
+  const ClassId cls = config_.impacted_classes[rng_.NextBounded(
+      config_.impacted_classes.size())];
+  const Bytes hi = classes_.SlotBytes(cls);
+  const Bytes lo = cls == 0 ? 1 : classes_.SlotBytes(cls - 1) + 1;
+  out.op = Op::kGet;
+  out.key = kBurstKeyBase + injected_count_;
+  out.size = lo + rng_.NextBounded(hi - lo + 1);
+  out.penalty_us = config_.penalty_us;
+  out.timestamp_us = 0;
+  injected_bytes_ += out.size;
+  ++injected_count_;
+  pending_request_ = out;
+  pending_set_ = true;
+  return true;
+}
+
+bool ColdBurstInjector::Next(Request& out) {
+  if (bursting_ && EmitBurstRequest(out)) return true;
+  if (!inner_->Next(out)) return false;
+  if (out.op == Op::kGet) {
+    ++gets_seen_;
+    if (!burst_done_ && !bursting_ && gets_seen_ >= config_.after_gets) {
+      bursting_ = true;  // burst begins with the next request
+    }
+  }
+  return true;
+}
+
+void ColdBurstInjector::Reset() {
+  inner_->Reset();
+  rng_ = Rng(config_.seed);
+  gets_seen_ = 0;
+  injected_bytes_ = 0;
+  injected_count_ = 0;
+  bursting_ = false;
+  burst_done_ = false;
+  pending_set_ = false;
+}
+
+}  // namespace pamakv

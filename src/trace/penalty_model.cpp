@@ -1,0 +1,26 @@
+#include "pamakv/trace/penalty_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pamakv {
+
+MicroSecs PenaltyModel::PenaltyFor(KeyId key, ClassId cls,
+                                   double popularity_percentile) const {
+  // A private RNG stream per key keeps the penalty a pure function of the
+  // key while remaining statistically lognormal across keys.
+  Rng rng(Mix64(key ^ config_.seed));
+  if (rng.NextDouble() < config_.default_fraction) {
+    return config_.default_us;
+  }
+  popularity_percentile = std::clamp(popularity_percentile, 1e-9, 1.0);
+  const double mu = std::log(static_cast<double>(config_.median_us)) +
+                    config_.per_class_log_shift * static_cast<double>(cls) -
+                    config_.popularity_log_boost *
+                        std::log10(popularity_percentile);
+  const double draw = std::exp(mu + config_.sigma_log * rng.NextGaussian());
+  const auto penalty = static_cast<MicroSecs>(std::llround(draw));
+  return std::clamp(penalty, config_.min_us, config_.max_us);
+}
+
+}  // namespace pamakv

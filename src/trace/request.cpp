@@ -1,0 +1,9 @@
+// Anchor translation unit for TraceSource's vtable.
+#include "pamakv/trace/request.hpp"
+
+namespace pamakv {
+
+// TraceSource is an interface; concrete sources live in generators.cpp,
+// trace_io.cpp and injector.cpp.
+
+}  // namespace pamakv

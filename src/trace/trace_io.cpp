@@ -1,0 +1,201 @@
+#include "pamakv/trace/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstring>
+#include <stdexcept>
+
+namespace pamakv {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'K', 'V', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct BinaryHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t record_count;
+};
+static_assert(sizeof(BinaryHeader) == 16);
+
+[[noreturn]] void ThrowIo(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kGet: return "GET";
+    case Op::kSet: return "SET";
+    case Op::kDel: return "DEL";
+  }
+  return "GET";
+}
+
+}  // namespace
+
+// ---------------- Binary writer ----------------
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) ThrowIo("BinaryTraceWriter: cannot open", path);
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.record_count = 0;  // back-patched in Close()
+  if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    ThrowIo("BinaryTraceWriter: header write failed", path);
+  }
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() { Close(); }
+
+void BinaryTraceWriter::Write(const Request& request) {
+  BinaryTraceRecord rec{};
+  rec.key = request.key;
+  rec.timestamp_us = static_cast<std::uint64_t>(request.timestamp_us);
+  rec.size = static_cast<std::uint32_t>(request.size);
+  rec.penalty_us = static_cast<std::uint32_t>(request.penalty_us);
+  rec.op = static_cast<std::uint8_t>(request.op);
+  if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1) {
+    throw std::runtime_error("BinaryTraceWriter: record write failed");
+  }
+  ++written_;
+}
+
+void BinaryTraceWriter::Close() {
+  if (!file_) return;
+  // Back-patch the record count.
+  std::fseek(file_, offsetof(BinaryHeader, record_count), SEEK_SET);
+  std::fwrite(&written_, sizeof(written_), 1, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+// ---------------- Binary reader ----------------
+
+BinaryTraceReader::BinaryTraceReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (!file_) ThrowIo("BinaryTraceReader: cannot open", path);
+  BinaryHeader header{};
+  if (std::fread(&header, sizeof(header), 1, file_) != 1 ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    ThrowIo("BinaryTraceReader: not a PKVT trace", path);
+  }
+  if (header.version != kVersion) {
+    std::fclose(file_);
+    file_ = nullptr;
+    ThrowIo("BinaryTraceReader: unsupported version", path);
+  }
+  total_ = header.record_count;
+}
+
+BinaryTraceReader::~BinaryTraceReader() {
+  if (file_) std::fclose(file_);
+}
+
+bool BinaryTraceReader::Next(Request& out) {
+  if (read_ >= total_) return false;
+  BinaryTraceRecord rec{};
+  if (std::fread(&rec, sizeof(rec), 1, file_) != 1) return false;
+  out.key = rec.key;
+  out.timestamp_us = static_cast<MicroSecs>(rec.timestamp_us);
+  out.size = rec.size;
+  out.penalty_us = rec.penalty_us;
+  out.op = static_cast<Op>(rec.op);
+  ++read_;
+  return true;
+}
+
+void BinaryTraceReader::Reset() {
+  std::fseek(file_, sizeof(BinaryHeader), SEEK_SET);
+  read_ = 0;
+}
+
+// ---------------- CSV writer ----------------
+
+CsvTraceWriter::CsvTraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (!file_) ThrowIo("CsvTraceWriter: cannot open", path);
+  std::fputs("op,key,size,penalty_us,timestamp_us\n", file_);
+}
+
+CsvTraceWriter::~CsvTraceWriter() { Close(); }
+
+void CsvTraceWriter::Write(const Request& request) {
+  std::fprintf(file_, "%s,%" PRIu64 ",%" PRIu64 ",%" PRId64 ",%" PRId64 "\n",
+               OpName(request.op), request.key,
+               static_cast<std::uint64_t>(request.size),
+               static_cast<std::int64_t>(request.penalty_us),
+               static_cast<std::int64_t>(request.timestamp_us));
+}
+
+void CsvTraceWriter::Close() {
+  if (!file_) return;
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+// ---------------- CSV reader ----------------
+
+CsvTraceReader::CsvTraceReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "r");
+  if (!file_) ThrowIo("CsvTraceReader: cannot open", path);
+}
+
+CsvTraceReader::~CsvTraceReader() {
+  if (file_) std::fclose(file_);
+}
+
+bool CsvTraceReader::Next(Request& out) {
+  char line[256];
+  for (;;) {
+    if (!std::fgets(line, sizeof(line), file_)) return false;
+    if (!header_skipped_) {
+      header_skipped_ = true;
+      // Tolerate files with or without the header line.
+      if (std::strncmp(line, "op,", 3) == 0) continue;
+    }
+    char op_buf[8] = {};
+    std::uint64_t key = 0;
+    std::uint64_t size = 0;
+    std::int64_t penalty = 0;
+    std::int64_t ts = 0;
+    const int fields =
+        std::sscanf(line, "%7[^,],%" SCNu64 ",%" SCNu64 ",%" SCNd64 ",%" SCNd64,
+                    op_buf, &key, &size, &penalty, &ts);
+    if (fields < 4) continue;  // skip malformed lines
+    if (std::strcmp(op_buf, "GET") == 0) {
+      out.op = Op::kGet;
+    } else if (std::strcmp(op_buf, "SET") == 0) {
+      out.op = Op::kSet;
+    } else if (std::strcmp(op_buf, "DEL") == 0) {
+      out.op = Op::kDel;
+    } else {
+      continue;
+    }
+    out.key = key;
+    out.size = size;
+    out.penalty_us = penalty;
+    out.timestamp_us = fields >= 5 ? ts : 0;
+    return true;
+  }
+}
+
+void CsvTraceReader::Reset() {
+  std::fseek(file_, 0, SEEK_SET);
+  header_skipped_ = false;
+}
+
+// ---------------- Helpers ----------------
+
+std::uint64_t DumpTrace(TraceSource& source, const std::string& path) {
+  BinaryTraceWriter writer(path);
+  Request request;
+  while (source.Next(request)) writer.Write(request);
+  writer.Close();
+  return writer.written();
+}
+
+}  // namespace pamakv

@@ -1,0 +1,74 @@
+#include "pamakv/util/arg_parser.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pamakv {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --name value form when the next token is not itself a flag;
+    // otherwise a boolean switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::Find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  return Find(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+double BenchScaleFromEnv(double fallback) {
+  const char* env = std::getenv("PAMA_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || v < 0.05) return fallback;
+  return v;
+}
+
+}  // namespace pamakv

@@ -1,0 +1,38 @@
+#include "pamakv/util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pamakv {
+
+std::string CsvWriter::ToField(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::Escape(const std::string& field, char sep) {
+  const bool needs_quotes =
+      field.find(sep) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRowStrings(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) *out_ << sep_;
+    *out_ << Escape(row[i], sep_);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace pamakv

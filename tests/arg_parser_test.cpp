@@ -1,0 +1,66 @@
+#include "pamakv/util/arg_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pamakv {
+namespace {
+
+ArgParser Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, EqualsForm) {
+  const auto p = Parse({"--requests=500", "--alpha=1.5"});
+  EXPECT_EQ(p.GetInt("requests", 0), 500);
+  EXPECT_DOUBLE_EQ(p.GetDouble("alpha", 0.0), 1.5);
+}
+
+TEST(ArgParserTest, SpaceForm) {
+  const auto p = Parse({"--scheme", "pama", "--cache-mb", "64"});
+  EXPECT_EQ(p.GetString("scheme", ""), "pama");
+  EXPECT_EQ(p.GetInt("cache-mb", 0), 64);
+}
+
+TEST(ArgParserTest, BooleanSwitch) {
+  const auto p = Parse({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_FALSE(p.GetBool("quiet", true));
+  EXPECT_TRUE(p.GetBool("missing", true));
+}
+
+TEST(ArgParserTest, FallbacksWhenAbsent) {
+  const auto p = Parse({});
+  EXPECT_EQ(p.GetString("x", "def"), "def");
+  EXPECT_EQ(p.GetInt("x", 9), 9);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 2.5), 2.5);
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const auto p = Parse({"input.pkvt", "--fast", "output.csv"});
+  ASSERT_EQ(p.positional().size(), 1u);  // output.csv consumed by --fast
+  EXPECT_EQ(p.positional()[0], "input.pkvt");
+  EXPECT_EQ(p.GetString("fast", ""), "output.csv");
+}
+
+TEST(ArgParserTest, HasDetectsPresence) {
+  const auto p = Parse({"--a=1"});
+  EXPECT_TRUE(p.Has("a"));
+  EXPECT_FALSE(p.Has("b"));
+}
+
+TEST(BenchScaleTest, FallsBackWhenUnsetOrInvalid) {
+  ::unsetenv("PAMA_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.5), 0.5);
+  ::setenv("PAMA_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.5), 0.5);
+  ::setenv("PAMA_BENCH_SCALE", "0.001", 1);  // below the floor
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.5), 0.5);
+  ::setenv("PAMA_BENCH_SCALE", "2.0", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.5), 2.0);
+  ::unsetenv("PAMA_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace pamakv

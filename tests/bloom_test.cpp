@@ -1,0 +1,131 @@
+#include "pamakv/bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pamakv/bloom/segment_filters.hpp"
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter f(1000, 0.01);
+  for (KeyId k = 0; k < 1000; ++k) f.Add(k);
+  for (KeyId k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(f.MayContain(k)) << "false negative for key " << k;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  BloomFilter f(10000, 0.01);
+  for (KeyId k = 0; k < 10000; ++k) f.Add(k);
+  int false_positives = 0;
+  const int probes = 100000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.MayContain(1'000'000 + static_cast<KeyId>(i))) ++false_positives;
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(fpr, 0.03);  // target 0.01, generous bound
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter f(100, 0.01);
+  int hits = 0;
+  for (KeyId k = 0; k < 1000; ++k) {
+    if (f.MayContain(k)) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomFilterTest, ClearForgetsEverything) {
+  BloomFilter f(100, 0.01);
+  for (KeyId k = 0; k < 100; ++k) f.Add(k);
+  f.Clear();
+  EXPECT_EQ(f.added_count(), 0u);
+  int hits = 0;
+  for (KeyId k = 0; k < 100; ++k) {
+    if (f.MayContain(k)) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomFilterTest, SizingGrowsWithCapacityAndPrecision) {
+  const BloomFilter small(100, 0.01);
+  const BloomFilter large(10000, 0.01);
+  const BloomFilter precise(100, 0.0001);
+  EXPECT_GT(large.bit_count(), small.bit_count());
+  EXPECT_GT(precise.bit_count(), small.bit_count());
+  EXPECT_GE(small.hash_count(), 1u);
+  EXPECT_LE(small.hash_count(), 16u);
+}
+
+TEST(BloomFilterTest, TinyCapacityStillWorks) {
+  BloomFilter f(0, 0.01);  // clamped internally
+  f.Add(42);
+  EXPECT_TRUE(f.MayContain(42));
+}
+
+TEST(BloomFilterTest, FootprintReported) {
+  const BloomFilter f(1000, 0.01);
+  EXPECT_EQ(f.footprint_bytes(), f.bit_count() / 8);
+  EXPECT_GT(f.footprint_bytes(), 0u);
+}
+
+// ---- SegmentFilterSet (paper's per-segment filters + removal filter) ----
+
+TEST(SegmentFilterSetTest, FindsSegmentMembership) {
+  SegmentFilterSet set(3, 100);
+  set.BeginRebuild();
+  set.AddToSegment(0, 11);
+  set.AddToSegment(1, 22);
+  set.AddToSegment(2, 33);
+  EXPECT_EQ(set.FindSegment(11), std::optional<std::size_t>(0));
+  EXPECT_EQ(set.FindSegment(22), std::optional<std::size_t>(1));
+  EXPECT_EQ(set.FindSegment(33), std::optional<std::size_t>(2));
+  EXPECT_EQ(set.FindSegment(44), std::nullopt);
+}
+
+TEST(SegmentFilterSetTest, RemovalFilterMasksMembers) {
+  SegmentFilterSet set(2, 100);
+  set.BeginRebuild();
+  set.AddToSegment(0, 7);
+  EXPECT_TRUE(set.FindSegment(7).has_value());
+  set.MarkRemoved(7);
+  EXPECT_EQ(set.FindSegment(7), std::nullopt);
+}
+
+TEST(SegmentFilterSetTest, RebuildClearsRemovalFilter) {
+  SegmentFilterSet set(2, 100);
+  set.BeginRebuild();
+  set.AddToSegment(0, 7);
+  set.MarkRemoved(7);
+  set.BeginRebuild();
+  set.AddToSegment(1, 7);  // the item re-entered the region lower down
+  EXPECT_EQ(set.FindSegment(7), std::optional<std::size_t>(1));
+}
+
+TEST(SegmentFilterSetTest, LowerSegmentWinsOnDoubleMembership) {
+  // If two filters both claim a key (false positive in one), the bottom-up
+  // probe attributes the hit to the lower (higher-weight) segment.
+  SegmentFilterSet set(2, 100);
+  set.BeginRebuild();
+  set.AddToSegment(0, 5);
+  set.AddToSegment(1, 5);
+  EXPECT_EQ(set.FindSegment(5), std::optional<std::size_t>(0));
+}
+
+TEST(SegmentFilterSetTest, OutOfRangeSegmentIgnored) {
+  SegmentFilterSet set(2, 10);
+  set.BeginRebuild();
+  set.AddToSegment(99, 1);  // silently dropped
+  EXPECT_EQ(set.FindSegment(1), std::nullopt);
+}
+
+TEST(SegmentFilterSetTest, FootprintAggregates) {
+  const SegmentFilterSet set(3, 1000);
+  EXPECT_GT(set.footprint_bytes(), 0u);
+  EXPECT_EQ(set.segment_count(), 3u);
+}
+
+}  // namespace
+}  // namespace pamakv

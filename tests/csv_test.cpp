@@ -1,0 +1,54 @@
+#include "pamakv/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pamakv {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteHeader({"a", "b", "c"});
+  csv.WriteRow(1, 2.5, "x");
+  EXPECT_EQ(out.str(), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(CsvTest, QuotesFieldsWithSeparators) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow(std::string("has,comma"), std::string("plain"));
+  EXPECT_EQ(out.str(), "\"has,comma\",plain\n");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow(std::string("say \"hi\""));
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter csv(out, '\t');
+  csv.WriteRow(1, 2);
+  EXPECT_EQ(out.str(), "1\t2\n");
+}
+
+TEST(CsvTest, DoubleFormattingIsCompact) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow(0.25, 1000000.0);
+  EXPECT_EQ(out.str(), "0.25,1e+06\n");
+}
+
+TEST(CsvTest, IntegerTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow(std::uint64_t{18446744073709551615ULL}, std::int64_t{-5});
+  EXPECT_EQ(out.str(), "18446744073709551615,-5\n");
+}
+
+}  // namespace
+}  // namespace pamakv

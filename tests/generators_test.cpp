@@ -1,0 +1,235 @@
+#include "pamakv/trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pamakv {
+namespace {
+
+TEST(SyntheticTraceTest, EmitsExactlyNumRequests) {
+  auto cfg = EtcWorkload(1000);
+  SyntheticTrace trace(cfg);
+  Request r;
+  std::uint64_t count = 0;
+  while (trace.Next(r)) ++count;
+  EXPECT_EQ(count, 1000u);
+  EXPECT_FALSE(trace.Next(r));
+  EXPECT_EQ(trace.TotalRequests(), 1000u);
+}
+
+TEST(SyntheticTraceTest, ResetReplaysIdentically) {
+  auto cfg = AppWorkload(2000);
+  SyntheticTrace trace(cfg);
+  std::vector<Request> first;
+  Request r;
+  while (trace.Next(r)) first.push_back(r);
+  trace.Reset();
+  std::size_t i = 0;
+  while (trace.Next(r)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_EQ(r.key, first[i].key);
+    EXPECT_EQ(r.size, first[i].size);
+    EXPECT_EQ(r.penalty_us, first[i].penalty_us);
+    EXPECT_EQ(static_cast<int>(r.op), static_cast<int>(first[i].op));
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(SyntheticTraceTest, KeyAttributesAreStable) {
+  auto cfg = EtcWorkload(20000);
+  SyntheticTrace trace(cfg);
+  std::unordered_map<KeyId, Bytes> sizes;
+  std::unordered_map<KeyId, MicroSecs> penalties;
+  Request r;
+  while (trace.Next(r)) {
+    const auto [it, fresh] = sizes.try_emplace(r.key, r.size);
+    if (!fresh) {
+      EXPECT_EQ(it->second, r.size) << "key " << r.key;
+    }
+    const auto [pit, pfresh] = penalties.try_emplace(r.key, r.penalty_us);
+    if (!pfresh) {
+      EXPECT_EQ(pit->second, r.penalty_us);
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, OpMixMatchesConfig) {
+  auto cfg = EtcWorkload(100000);
+  SyntheticTrace trace(cfg);
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t dels = 0;
+  Request r;
+  while (trace.Next(r)) {
+    switch (r.op) {
+      case Op::kGet: ++gets; break;
+      case Op::kSet: ++sets; break;
+      case Op::kDel: ++dels; break;
+    }
+  }
+  const double n = 100000.0;
+  EXPECT_NEAR(gets / n, cfg.get_fraction, 0.01);
+  EXPECT_NEAR(sets / n, cfg.set_fraction, 0.005);
+  EXPECT_NEAR(dels / n, 1.0 - cfg.get_fraction - cfg.set_fraction, 0.005);
+}
+
+TEST(SyntheticTraceTest, VarIsUpdateDominated) {
+  auto cfg = VarWorkload(50000);
+  SyntheticTrace trace(cfg);
+  std::uint64_t sets = 0;
+  std::uint64_t total = 0;
+  Request r;
+  while (trace.Next(r)) {
+    ++total;
+    if (r.op == Op::kSet) ++sets;
+  }
+  EXPECT_GT(static_cast<double>(sets) / static_cast<double>(total), 0.7);
+}
+
+TEST(SyntheticTraceTest, ColdKeysNeverRepeatWithinPass) {
+  auto cfg = AppWorkload(100000);
+  SyntheticTrace trace(cfg);
+  std::unordered_set<KeyId> cold_seen;
+  std::uint64_t cold = 0;
+  std::uint64_t gets = 0;
+  Request r;
+  const KeyId cold_base = 1ULL << 40;
+  while (trace.Next(r)) {
+    if (r.op != Op::kGet) continue;
+    ++gets;
+    if (r.key >= cold_base) {
+      ++cold;
+      EXPECT_TRUE(cold_seen.insert(r.key).second) << "cold key repeated";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(cold) / static_cast<double>(gets),
+              cfg.cold_fraction, 0.01);
+}
+
+TEST(SyntheticTraceTest, EtcIsSmallItemDominated) {
+  auto cfg = EtcWorkload(50000);
+  SyntheticTrace trace(cfg);
+  const SizeClassTable classes(cfg.geometry);
+  std::uint64_t class0 = 0;
+  std::uint64_t total = 0;
+  Request r;
+  while (trace.Next(r)) {
+    ++total;
+    if (classes.ClassForSize(r.size) == ClassId{0}) ++class0;
+  }
+  EXPECT_GT(static_cast<double>(class0) / static_cast<double>(total), 0.6);
+}
+
+TEST(SyntheticTraceTest, AppShiftsMassToLargerClasses) {
+  auto cfg = AppWorkload(50000);
+  SyntheticTrace trace(cfg);
+  const SizeClassTable classes(cfg.geometry);
+  std::uint64_t large = 0;  // class >= 6
+  std::uint64_t total = 0;
+  Request r;
+  while (trace.Next(r)) {
+    ++total;
+    if (*classes.ClassForSize(r.size) >= 6) ++large;
+  }
+  EXPECT_GT(static_cast<double>(large) / static_cast<double>(total), 0.5);
+}
+
+TEST(SyntheticTraceTest, SizesFitConfiguredGeometry) {
+  auto cfg = EtcWorkload(20000);
+  SyntheticTrace trace(cfg);
+  const SizeClassTable classes(cfg.geometry);
+  Request r;
+  while (trace.Next(r)) {
+    EXPECT_GE(r.size, 1u);
+    EXPECT_LE(r.size, classes.max_item_bytes());
+    EXPECT_GE(r.penalty_us, 1);
+  }
+}
+
+TEST(SyntheticTraceTest, TimestampsIncrease) {
+  auto cfg = EtcWorkload(1000);
+  SyntheticTrace trace(cfg);
+  Request r;
+  MicroSecs last = -1;
+  while (trace.Next(r)) {
+    EXPECT_GT(r.timestamp_us, last);
+    last = r.timestamp_us;
+  }
+}
+
+TEST(SyntheticTraceTest, PopularKeysRecur) {
+  auto cfg = EtcWorkload(50000);
+  SyntheticTrace trace(cfg);
+  std::unordered_map<KeyId, int> counts;
+  Request r;
+  while (trace.Next(r)) ++counts[r.key];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 50);  // Zipf head gets hammered
+}
+
+TEST(SyntheticTraceTest, DiurnalDriftShiftsWorkingSet) {
+  auto cfg = EtcWorkload(200000);
+  cfg.diurnal_amplitude = 0.5;
+  cfg.diurnal_period_requests = 200000;
+  SyntheticTrace trace(cfg);
+  // Compare hot keys at the start vs mid-period: the sets should differ.
+  std::set<KeyId> early;
+  std::set<KeyId> late;
+  Request r;
+  std::uint64_t i = 0;
+  while (trace.Next(r)) {
+    if (i < 10000) early.insert(r.key);
+    if (i >= 95000 && i < 105000) late.insert(r.key);
+    ++i;
+  }
+  std::size_t overlap = 0;
+  for (const KeyId k : early) overlap += late.count(k);
+  EXPECT_LT(static_cast<double>(overlap) / static_cast<double>(early.size()),
+            0.8);
+}
+
+TEST(SyntheticTraceTest, InvalidConfigsThrow) {
+  auto cfg = EtcWorkload(0);
+  EXPECT_THROW(SyntheticTrace{cfg}, std::invalid_argument);
+  cfg = EtcWorkload(100);
+  cfg.class_weights.assign(20, 1.0);  // more weights than classes
+  EXPECT_THROW(SyntheticTrace{cfg}, std::invalid_argument);
+}
+
+TEST(RepeatedTraceTest, ConcatenatesPasses) {
+  auto cfg = SysWorkload(500);
+  auto inner = std::make_unique<SyntheticTrace>(cfg);
+  RepeatedTrace rep(std::move(inner), 3);
+  EXPECT_EQ(rep.TotalRequests(), 1500u);
+  Request r;
+  std::vector<KeyId> keys;
+  while (rep.Next(r)) keys.push_back(r.key);
+  ASSERT_EQ(keys.size(), 1500u);
+  // Each pass replays identically.
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(keys[i], keys[i + 500]);
+    EXPECT_EQ(keys[i], keys[i + 1000]);
+  }
+}
+
+TEST(RepeatedTraceTest, ResetRestartsFromFirstPass) {
+  auto cfg = SysWorkload(100);
+  RepeatedTrace rep(std::make_unique<SyntheticTrace>(cfg), 2);
+  Request r;
+  std::uint64_t n = 0;
+  while (rep.Next(r)) ++n;
+  EXPECT_EQ(n, 200u);
+  rep.Reset();
+  n = 0;
+  while (rep.Next(r)) ++n;
+  EXPECT_EQ(n, 200u);
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,155 @@
+#include "pamakv/ds/ghost_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_map>
+
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv {
+namespace {
+
+TEST(GhostListTest, EmptyLookupMisses) {
+  GhostList g(8);
+  EXPECT_EQ(g.Lookup(1), std::nullopt);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_FALSE(g.Remove(1));
+}
+
+TEST(GhostListTest, MostRecentEvictionHasRankZero) {
+  GhostList g(8);
+  g.Push(1, 100);
+  g.Push(2, 200);
+  g.Push(3, 300);
+  EXPECT_EQ(g.Lookup(3)->rank, 0u);
+  EXPECT_EQ(g.Lookup(2)->rank, 1u);
+  EXPECT_EQ(g.Lookup(1)->rank, 2u);
+  EXPECT_EQ(g.Lookup(3)->penalty, 300);
+}
+
+TEST(GhostListTest, CapacityEvictsOldest) {
+  GhostList g(3);
+  g.Push(1, 10);
+  g.Push(2, 20);
+  g.Push(3, 30);
+  g.Push(4, 40);  // overwrites key 1
+  EXPECT_EQ(g.Lookup(1), std::nullopt);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.Lookup(4)->rank, 0u);
+  EXPECT_EQ(g.Lookup(2)->rank, 2u);
+}
+
+TEST(GhostListTest, RemoveCompactsRanks) {
+  GhostList g(8);
+  g.Push(1, 10);
+  g.Push(2, 20);
+  g.Push(3, 30);
+  EXPECT_TRUE(g.Remove(2));
+  // Rank of 1 shrinks because the hole no longer counts.
+  EXPECT_EQ(g.Lookup(1)->rank, 1u);
+  EXPECT_EQ(g.Lookup(3)->rank, 0u);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(GhostListTest, RePushMovesKeyToFront) {
+  GhostList g(8);
+  g.Push(1, 10);
+  g.Push(2, 20);
+  g.Push(1, 15);  // re-evicted with a new penalty
+  EXPECT_EQ(g.Lookup(1)->rank, 0u);
+  EXPECT_EQ(g.Lookup(1)->penalty, 15);
+  EXPECT_EQ(g.Lookup(2)->rank, 1u);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(GhostListTest, ContainsTracksMembership) {
+  GhostList g(4);
+  EXPECT_FALSE(g.Contains(9));
+  g.Push(9, 1);
+  EXPECT_TRUE(g.Contains(9));
+  g.Remove(9);
+  EXPECT_FALSE(g.Contains(9));
+}
+
+TEST(GhostListTest, ZeroCapacityRejected) {
+  EXPECT_THROW(GhostList(0), std::invalid_argument);
+}
+
+TEST(GhostListTest, WrapsManyTimesWithoutDrift) {
+  GhostList g(16);
+  for (KeyId k = 0; k < 1000; ++k) g.Push(k, 1);
+  // Only the last 16 keys survive, ranks 0..15 newest-first.
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(g.Lookup(999 - r)->rank, r);
+  }
+  EXPECT_EQ(g.Lookup(983), std::nullopt);
+  EXPECT_EQ(g.size(), 16u);
+}
+
+// Model-based: compare against a reference that mirrors the documented ring
+// contract — "remember the most recent `capacity` evictions (by push count),
+// minus removals". Each push with sequence s expires the entry pushed at
+// sequence s - capacity, if it is still live.
+TEST(GhostListTest, AgreesWithDequeModelUnderRandomOps) {
+  const std::size_t cap = 32;
+  GhostList g(cap);
+  struct Entry {
+    KeyId key;
+    MicroSecs penalty;
+    std::uint64_t seq;
+  };
+  std::deque<Entry> model;  // front == newest
+  std::uint64_t next_seq = 0;
+  Rng rng(777);
+
+  auto model_remove = [&model](KeyId key) {
+    for (auto it = model.begin(); it != model.end(); ++it) {
+      if (it->key == key) {
+        model.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t choice = rng.NextBounded(100);
+    const KeyId key = rng.NextBounded(64);  // small key space forces re-push
+    if (choice < 60) {
+      const auto penalty = static_cast<MicroSecs>(rng.NextBounded(1000));
+      g.Push(key, penalty);
+      model_remove(key);
+      const std::uint64_t seq = next_seq++;
+      model.push_front(Entry{key, penalty, seq});
+      // The ring slot being reused held sequence seq - cap.
+      if (!model.empty() && seq >= cap && model.back().seq == seq - cap) {
+        model.pop_back();
+      }
+    } else if (choice < 75) {
+      const bool a = g.Remove(key);
+      const bool b = model_remove(key);
+      ASSERT_EQ(a, b);
+    } else {
+      const auto hit = g.Lookup(key);
+      std::optional<std::size_t> expect_rank;
+      MicroSecs expect_penalty = 0;
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        if (model[i].key == key) {
+          expect_rank = i;
+          expect_penalty = model[i].penalty;
+          break;
+        }
+      }
+      ASSERT_EQ(hit.has_value(), expect_rank.has_value()) << "op " << op;
+      if (hit) {
+        ASSERT_EQ(hit->rank, *expect_rank) << "op " << op;
+        ASSERT_EQ(hit->penalty, expect_penalty) << "op " << op;
+      }
+    }
+    ASSERT_EQ(g.size(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,105 @@
+#include "pamakv/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pamakv {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(LogHistogramTest, BucketsCoverRange) {
+  LogHistogram h(1.0, 1000.0, 3);  // decades
+  h.Add(2.0);
+  h.Add(20.0);
+  h.Add(200.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LogHistogramTest, OutOfRangeClamped) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.Add(0.001);
+  h.Add(1e9);
+  h.Add(-5.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(LogHistogramTest, WeightsAccumulate) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.Add(2.0, 10);
+  EXPECT_EQ(h.bucket(0), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(LogHistogramTest, BucketBoundsAreGeometric) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.BucketLow(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.BucketHigh(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.BucketLow(2), 100.0, 1e-9);
+  EXPECT_NEAR(h.BucketHigh(2), 1000.0, 1e-6);
+  EXPECT_NEAR(h.BucketMid(1), std::sqrt(10.0 * 100.0), 1e-9);
+}
+
+TEST(LogHistogramTest, QuantileInterpolatesBuckets) {
+  LogHistogram h(1.0, 10000.0, 4);
+  for (int i = 0; i < 90; ++i) h.Add(5.0);    // bucket 0
+  for (int i = 0; i < 10; ++i) h.Add(5000.0); // bucket 3
+  EXPECT_LT(h.Quantile(0.5), 10.0);
+  EXPECT_GT(h.Quantile(0.99), 1000.0);
+}
+
+TEST(LogHistogramTest, InvalidArgsThrow) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(ExactQuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_EQ(ExactQuantile(v, 1.0), 5.0);
+  EXPECT_EQ(ExactQuantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,149 @@
+#include "pamakv/trace/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pamakv/trace/generators.hpp"
+
+namespace pamakv {
+namespace {
+
+ColdBurstConfig BurstConfig() {
+  ColdBurstConfig cfg;
+  cfg.after_gets = 1000;
+  cfg.total_bytes = 64 * 1024;
+  cfg.impacted_classes = {2, 3, 4};
+  cfg.penalty_us = 50'000;
+  return cfg;
+}
+
+TEST(ColdBurstInjectorTest, BurstFiresAfterConfiguredGets) {
+  auto cfg = EtcWorkload(10000);
+  ColdBurstInjector injector(std::make_unique<SyntheticTrace>(cfg),
+                             BurstConfig(), cfg.geometry);
+  Request r;
+  std::uint64_t gets_before_burst = 0;
+  bool seen_burst = false;
+  const KeyId burst_base = 1ULL << 44;
+  while (injector.Next(r)) {
+    if (r.key >= burst_base) {
+      seen_burst = true;
+      break;
+    }
+    if (r.op == Op::kGet) ++gets_before_burst;
+  }
+  EXPECT_TRUE(seen_burst);
+  EXPECT_GE(gets_before_burst, 1000u);
+  EXPECT_LE(gets_before_burst, 1100u);  // burst starts promptly
+}
+
+TEST(ColdBurstInjectorTest, BurstBytesMatchTarget) {
+  auto cfg = EtcWorkload(10000);
+  const auto burst_cfg = BurstConfig();
+  ColdBurstInjector injector(std::make_unique<SyntheticTrace>(cfg), burst_cfg,
+                             cfg.geometry);
+  Request r;
+  while (injector.Next(r)) {
+  }
+  EXPECT_GE(injector.injected_bytes(), burst_cfg.total_bytes);
+  // Overshoot is at most one item.
+  EXPECT_LE(injector.injected_bytes(),
+            burst_cfg.total_bytes + SizeClassTable(cfg.geometry).max_item_bytes());
+  EXPECT_GT(injector.injected_count(), 0u);
+}
+
+TEST(ColdBurstInjectorTest, BurstItemsAreGetThenSetPairs) {
+  // Sec. IV-C injects requests "accessing and adding" new items: each
+  // burst key arrives as a cold GET miss followed by its SET.
+  auto cfg = EtcWorkload(10000);
+  const auto burst_cfg = BurstConfig();
+  ColdBurstInjector injector(std::make_unique<SyntheticTrace>(cfg), burst_cfg,
+                             cfg.geometry);
+  const SizeClassTable classes(cfg.geometry);
+  Request r;
+  const KeyId burst_base = 1ULL << 44;
+  std::optional<Request> pending_get;
+  std::uint64_t pairs = 0;
+  while (injector.Next(r)) {
+    if (r.key < burst_base) continue;
+    if (!pending_get) {
+      EXPECT_EQ(static_cast<int>(r.op), static_cast<int>(Op::kGet));
+      pending_get = r;
+    } else {
+      EXPECT_EQ(static_cast<int>(r.op), static_cast<int>(Op::kSet));
+      EXPECT_EQ(r.key, pending_get->key);
+      EXPECT_EQ(r.size, pending_get->size);
+      pending_get.reset();
+      ++pairs;
+    }
+    EXPECT_EQ(r.penalty_us, burst_cfg.penalty_us);
+    const auto cls = classes.ClassForSize(r.size);
+    ASSERT_TRUE(cls.has_value());
+    EXPECT_TRUE(*cls == 2 || *cls == 3 || *cls == 4) << "class " << *cls;
+  }
+  EXPECT_FALSE(pending_get.has_value());  // no dangling GET
+  EXPECT_EQ(pairs, injector.injected_count());
+}
+
+TEST(ColdBurstInjectorTest, BurstKeysAreUniqueAndOneShot) {
+  auto cfg = EtcWorkload(5000);
+  ColdBurstInjector injector(std::make_unique<SyntheticTrace>(cfg),
+                             BurstConfig(), cfg.geometry);
+  Request r;
+  std::set<KeyId> burst_keys;
+  const KeyId burst_base = 1ULL << 44;
+  while (injector.Next(r)) {
+    if (r.key >= burst_base && r.op == Op::kSet) {
+      EXPECT_TRUE(burst_keys.insert(r.key).second);
+    }
+  }
+  EXPECT_EQ(burst_keys.size(), injector.injected_count());
+}
+
+TEST(ColdBurstInjectorTest, PassThroughPreservesUnderlyingStream) {
+  auto cfg = SysWorkload(2000);
+  SyntheticTrace reference(cfg);
+  ColdBurstInjector injector(std::make_unique<SyntheticTrace>(cfg),
+                             BurstConfig(), cfg.geometry);
+  Request from_ref;
+  Request from_inj;
+  const KeyId burst_base = 1ULL << 44;
+  while (injector.Next(from_inj)) {
+    if (from_inj.key >= burst_base) continue;  // skip injected
+    ASSERT_TRUE(reference.Next(from_ref));
+    EXPECT_EQ(from_inj.key, from_ref.key);
+    EXPECT_EQ(from_inj.size, from_ref.size);
+  }
+  EXPECT_FALSE(reference.Next(from_ref));  // nothing dropped
+}
+
+TEST(ColdBurstInjectorTest, ResetReplaysBurst) {
+  auto cfg = EtcWorkload(5000);
+  ColdBurstInjector injector(std::make_unique<SyntheticTrace>(cfg),
+                             BurstConfig(), cfg.geometry);
+  Request r;
+  while (injector.Next(r)) {
+  }
+  const auto first_count = injector.injected_count();
+  EXPECT_GT(first_count, 0u);
+  injector.Reset();
+  while (injector.Next(r)) {
+  }
+  EXPECT_EQ(injector.injected_count(), first_count);
+}
+
+TEST(ColdBurstInjectorTest, InvalidConfigsThrow) {
+  auto cfg = EtcWorkload(100);
+  ColdBurstConfig bad = BurstConfig();
+  bad.impacted_classes = {};
+  EXPECT_THROW(ColdBurstInjector(std::make_unique<SyntheticTrace>(cfg), bad,
+                                 cfg.geometry),
+               std::invalid_argument);
+  bad = BurstConfig();
+  bad.impacted_classes = {99};
+  EXPECT_THROW(ColdBurstInjector(std::make_unique<SyntheticTrace>(cfg), bad,
+                                 cfg.geometry),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,133 @@
+// End-to-end reproduction checks: the paper's qualitative claims must hold
+// on a scaled ETC-like run. These are the Sec. IV shapes:
+//  * every reallocating scheme beats original Memcached on hit ratio;
+//  * pre-PAMA attains the best hit ratio; PAMA trades hit ratio away;
+//  * PAMA attains the lowest average GET service time;
+//  * PAMA's average miss is cheaper (penalty-aware victim selection);
+//  * Twemcache's random donations hurt.
+// Comfortable margins keep the assertions robust to generator tweaks.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pamakv/sim/experiment.hpp"
+#include "pamakv/trace/generators.hpp"
+
+namespace pamakv {
+namespace {
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SchemeOptions options;  // tuned defaults (DESIGN.md resolutions)
+    SimConfig sim_cfg;
+    sim_cfg.window_gets = 200'000;
+    ExperimentRunner runner(SizeClassConfig{}, options, sim_cfg);
+    const std::vector<ExperimentCell> cells = {
+        {"memcached", kCache}, {"psa", kCache},      {"twemcache", kCache},
+        {"pre-pama", kCache},  {"pama", kCache},     {"pama-exact", kCache},
+    };
+    const auto results = runner.RunGrid(
+        cells,
+        [] { return std::make_unique<SyntheticTrace>(EtcWorkload(2'000'000)); },
+        "etc", 2);
+    results_ = new std::map<std::string, SimResult>();
+    for (const auto& r : results) (*results_)[r.scheme] = r;
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const SimResult& Of(const std::string& scheme) {
+    return results_->at(scheme);
+  }
+  static double PerMissPenaltyUs(const SimResult& r) {
+    return static_cast<double>(r.final_stats.miss_penalty_total_us) /
+           static_cast<double>(r.final_stats.get_misses);
+  }
+
+  static constexpr Bytes kCache = 32ULL * 1024 * 1024;
+  static std::map<std::string, SimResult>* results_;
+};
+
+std::map<std::string, SimResult>* ReproductionTest::results_ = nullptr;
+
+TEST_F(ReproductionTest, ReallocationBeatsFrozenMemcached) {
+  // Sec. II/IV: frozen allocations under-utilize the cache.
+  EXPECT_GT(Of("psa").overall_hit_ratio,
+            Of("memcached").overall_hit_ratio + 0.02);
+  EXPECT_GT(Of("pre-pama").overall_hit_ratio,
+            Of("memcached").overall_hit_ratio + 0.02);
+  EXPECT_GT(Of("pama").overall_hit_ratio,
+            Of("memcached").overall_hit_ratio + 0.02);
+}
+
+TEST_F(ReproductionTest, PrePamaHasTheBestHitRatio) {
+  // Fig. 5/7: pre-PAMA optimizes purely for avoided misses.
+  EXPECT_GE(Of("pre-pama").overall_hit_ratio,
+            Of("psa").overall_hit_ratio - 0.005);
+  EXPECT_GE(Of("pre-pama").overall_hit_ratio,
+            Of("pama").overall_hit_ratio - 0.005);
+}
+
+TEST_F(ReproductionTest, PamaTradesHitRatioForServiceTime) {
+  // The paper's central result: PAMA's hit ratio is NOT the best, yet its
+  // service time IS (Figs. 5-8).
+  EXPECT_LE(Of("pama").overall_hit_ratio,
+            Of("pre-pama").overall_hit_ratio + 0.005);
+  EXPECT_LT(Of("pama").overall_avg_service_time_us,
+            Of("psa").overall_avg_service_time_us);
+  EXPECT_LT(Of("pama").overall_avg_service_time_us,
+            Of("pre-pama").overall_avg_service_time_us);
+  EXPECT_LT(Of("pama").overall_avg_service_time_us,
+            0.75 * Of("memcached").overall_avg_service_time_us);
+}
+
+TEST_F(ReproductionTest, PamaMissesAreCheaper) {
+  // Penalty-aware victim selection shifts misses onto low-penalty items.
+  EXPECT_LT(PerMissPenaltyUs(Of("pama")),
+            0.90 * PerMissPenaltyUs(Of("memcached")));
+  EXPECT_LT(PerMissPenaltyUs(Of("pama")),
+            0.90 * PerMissPenaltyUs(Of("psa")));
+}
+
+TEST_F(ReproductionTest, BloomApproximationTracksExactRanks) {
+  // The paper's O(1) Bloom mechanism must behave like the exact-rank
+  // ground truth, not like a different policy.
+  EXPECT_NEAR(Of("pama").overall_hit_ratio,
+              Of("pama-exact").overall_hit_ratio, 0.03);
+  EXPECT_NEAR(Of("pama").overall_avg_service_time_us,
+              Of("pama-exact").overall_avg_service_time_us,
+              0.25 * Of("pama-exact").overall_avg_service_time_us);
+}
+
+TEST_F(ReproductionTest, RandomDonationsHurt) {
+  // Sec. II: Twemcache evicts efficiently-used slabs at random.
+  EXPECT_LT(Of("twemcache").overall_hit_ratio,
+            Of("psa").overall_hit_ratio);
+  EXPECT_GT(Of("twemcache").overall_avg_service_time_us,
+            Of("psa").overall_avg_service_time_us);
+}
+
+TEST_F(ReproductionTest, OnlyReallocatingSchemesMigrate) {
+  EXPECT_EQ(Of("memcached").final_stats.slab_migrations, 0u);
+  EXPECT_GT(Of("psa").final_stats.slab_migrations, 0u);
+  EXPECT_GT(Of("pama").final_stats.slab_migrations, 0u);
+}
+
+TEST_F(ReproductionTest, WindowSeriesAreComplete) {
+  for (const auto& scheme :
+       {"memcached", "psa", "pre-pama", "pama"}) {
+    const auto& r = Of(scheme);
+    EXPECT_GE(r.windows.size(), 8u) << scheme;
+    for (const auto& w : r.windows) {
+      EXPECT_GE(w.hit_ratio, 0.0);
+      EXPECT_LE(w.hit_ratio, 1.0);
+      EXPECT_GE(w.avg_service_time_us, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,116 @@
+// Tests for the LAMA-style MRC+DP extension policy (related work [9]).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pamakv/cache/cache_engine.hpp"
+#include "pamakv/policy/lama.hpp"
+
+namespace pamakv {
+namespace {
+
+EngineConfig TinyConfig(Bytes capacity) {
+  EngineConfig cfg;
+  cfg.size_classes.slab_bytes = 1024;
+  cfg.size_classes.min_slot_bytes = 64;
+  cfg.size_classes.num_classes = 4;
+  cfg.capacity_bytes = capacity;
+  return cfg;
+}
+
+struct Harness {
+  explicit Harness(Bytes capacity, LamaConfig cfg) {
+    auto policy = std::make_unique<LamaPolicy>(cfg);
+    lama = policy.get();
+    engine = std::make_unique<CacheEngine>(TinyConfig(capacity),
+                                           std::move(policy));
+  }
+  std::unique_ptr<CacheEngine> engine;
+  LamaPolicy* lama = nullptr;
+};
+
+LamaConfig SmallWindows() {
+  LamaConfig cfg;
+  cfg.window_accesses = 64;
+  cfg.granularity_slabs = 1;
+  cfg.penalty_weighted = false;
+  return cfg;
+}
+
+TEST(LamaTest, TargetSumsToTotalSlabsAfterRepartition) {
+  Harness h(4096, SmallWindows());
+  auto& e = *h.engine;
+  // Drive enough traffic to cross a window boundary.
+  for (int round = 0; round < 6; ++round) {
+    for (KeyId k = 0; k < 20; ++k) {
+      e.Set(k, 64, 100);
+      e.Get(k, 64, 100);
+    }
+  }
+  const auto& target = h.lama->target();
+  const auto total = std::accumulate(target.begin(), target.end(),
+                                     std::size_t{0});
+  EXPECT_EQ(total, e.pool().total_slabs());
+}
+
+TEST(LamaTest, HotClassGetsTheLionShare) {
+  Harness h(4096, SmallWindows());
+  auto& e = *h.engine;
+  // Class 0 is hot and deep (needs many slabs); class 3 sees one item.
+  e.Set(500, 512, 100);
+  for (int round = 0; round < 8; ++round) {
+    for (KeyId k = 0; k < 60; ++k) {
+      e.Set(k, 64, 100);
+      e.Get(k, 64, 100);
+    }
+  }
+  const auto& target = h.lama->target();
+  EXPECT_GT(target[0], target[3]);
+}
+
+TEST(LamaTest, PenaltyWeightingChangesObjective) {
+  // Two classes with equal hit counts; class 3's items carry 100x the
+  // penalty. LAMA-ST must give class 3 at least as much as LAMA-HR does.
+  auto run = [](bool penalty_weighted) {
+    LamaConfig cfg;
+    cfg.window_accesses = 128;
+    cfg.granularity_slabs = 1;
+    cfg.penalty_weighted = penalty_weighted;
+    Harness h(2048, cfg);
+    auto& e = *h.engine;
+    for (int round = 0; round < 10; ++round) {
+      for (KeyId k = 0; k < 8; ++k) {
+        e.Set(k, 64, 100);
+        e.Get(k, 64, 100);
+        e.Set(100 + k, 512, 10'000);
+        e.Get(100 + k, 512, 10'000);
+      }
+    }
+    return h.lama->target();
+  };
+  const auto hr = run(false);
+  const auto st = run(true);
+  EXPECT_GE(st[3], hr[3]);
+  EXPECT_GT(st[3], 0u);
+}
+
+TEST(LamaTest, MakeRoomServesStarvedClass) {
+  LamaConfig cfg = SmallWindows();
+  Harness h(1024, cfg);  // one slab
+  auto& e = *h.engine;
+  for (KeyId k = 0; k < 16; ++k) e.Set(k, 64, 100);  // class 0 owns it
+  const auto result = e.Set(500, 512, 100);          // class 3 starved
+  EXPECT_TRUE(result.stored);
+  EXPECT_EQ(e.pool().ClassSlabCount(3), 1u);
+}
+
+TEST(LamaTest, NamesReflectObjective) {
+  LamaConfig cfg;
+  cfg.penalty_weighted = false;
+  EXPECT_EQ(LamaPolicy(cfg).name(), "lama-hr");
+  cfg.penalty_weighted = true;
+  EXPECT_EQ(LamaPolicy(cfg).name(), "lama-st");
+}
+
+}  // namespace
+}  // namespace pamakv

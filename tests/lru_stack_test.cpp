@@ -1,0 +1,173 @@
+#include "pamakv/ds/lru_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv {
+namespace {
+
+TEST(LruStackTest, EmptyStack) {
+  LruStack s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.Bottom(), nullptr);
+  EXPECT_EQ(s.KthFromBottom(0), nullptr);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(LruStackTest, PushOrderIsStackOrder) {
+  LruStack s;
+  auto* n1 = s.PushTop(1);
+  auto* n2 = s.PushTop(2);
+  auto* n3 = s.PushTop(3);
+  // Stack top..bottom is 3,2,1; bottom is the first pushed.
+  EXPECT_EQ(s.Bottom(), n1);
+  EXPECT_EQ(s.RankFromTop(n3), 0u);
+  EXPECT_EQ(s.RankFromTop(n2), 1u);
+  EXPECT_EQ(s.RankFromTop(n1), 2u);
+  EXPECT_EQ(s.RankFromBottom(n1), 0u);
+  EXPECT_EQ(s.RankFromBottom(n3), 2u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(LruStackTest, KthFromBottomSelects) {
+  LruStack s;
+  std::vector<LruStack::Node*> nodes;
+  for (ItemHandle i = 0; i < 10; ++i) nodes.push_back(s.PushTop(i));
+  // Bottom is nodes[0] (first pushed), k-th from bottom is nodes[k].
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(s.KthFromBottom(k), nodes[k]) << "k=" << k;
+  }
+  EXPECT_EQ(s.KthFromBottom(10), nullptr);
+}
+
+TEST(LruStackTest, MoveToTopPromotes) {
+  LruStack s;
+  auto* n1 = s.PushTop(1);
+  auto* n2 = s.PushTop(2);
+  auto* n3 = s.PushTop(3);
+  s.MoveToTop(n1);  // 1,3,2 from top
+  EXPECT_EQ(s.RankFromTop(n1), 0u);
+  EXPECT_EQ(s.RankFromTop(n3), 1u);
+  EXPECT_EQ(s.RankFromTop(n2), 2u);
+  EXPECT_EQ(s.Bottom(), n2);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(LruStackTest, EraseRemoves) {
+  LruStack s;
+  auto* n1 = s.PushTop(1);
+  auto* n2 = s.PushTop(2);
+  auto* n3 = s.PushTop(3);
+  s.Erase(n2);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.RankFromTop(n3), 0u);
+  EXPECT_EQ(s.RankFromTop(n1), 1u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(LruStackTest, EraseToEmptyAndReuse) {
+  LruStack s;
+  auto* n = s.PushTop(1);
+  s.Erase(n);
+  EXPECT_TRUE(s.empty());
+  auto* m = s.PushTop(2);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.Bottom(), m);
+  EXPECT_EQ(m->value, 2u);
+}
+
+TEST(LruStackTest, TowardTopWalksInOrder) {
+  LruStack s;
+  std::vector<LruStack::Node*> nodes;
+  for (ItemHandle i = 0; i < 20; ++i) nodes.push_back(s.PushTop(i));
+  // Walk from the bottom toward the top: values 0,1,...,19.
+  LruStack::Node* cur = s.Bottom();
+  for (ItemHandle expect = 0; expect < 20; ++expect) {
+    ASSERT_NE(cur, nullptr);
+    EXPECT_EQ(cur->value, expect);
+    cur = LruStack::TowardTop(cur);
+  }
+  EXPECT_EQ(cur, nullptr);  // walked off the top
+}
+
+// Model-based randomized test: the treap must agree with a simple vector
+// model (front == top) across a long interleaving of pushes, promotions,
+// erases, and rank queries.
+TEST(LruStackTest, AgreesWithVectorModelUnderRandomOps) {
+  LruStack s(7);
+  std::vector<ItemHandle> model;  // model[0] == top
+  std::unordered_map<ItemHandle, LruStack::Node*> node_of;
+  Rng rng(1234);
+  ItemHandle next_value = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t choice = rng.NextBounded(100);
+    if (model.empty() || choice < 35) {
+      const ItemHandle v = next_value++;
+      node_of[v] = s.PushTop(v);
+      model.insert(model.begin(), v);
+    } else if (choice < 60) {
+      const std::size_t i = rng.NextBounded(model.size());
+      const ItemHandle v = model[i];
+      s.MoveToTop(node_of[v]);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(i));
+      model.insert(model.begin(), v);
+    } else if (choice < 80) {
+      const std::size_t i = rng.NextBounded(model.size());
+      const ItemHandle v = model[i];
+      s.Erase(node_of[v]);
+      node_of.erase(v);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      // Query: ranks and k-th must match the model.
+      const std::size_t i = rng.NextBounded(model.size());
+      const ItemHandle v = model[i];
+      ASSERT_EQ(s.RankFromTop(node_of[v]), i);
+      ASSERT_EQ(s.RankFromBottom(node_of[v]), model.size() - 1 - i);
+      const std::size_t k = rng.NextBounded(model.size());
+      ASSERT_EQ(s.KthFromBottom(k)->value, model[model.size() - 1 - k]);
+    }
+    ASSERT_EQ(s.size(), model.size());
+    if (!model.empty()) {
+      ASSERT_EQ(s.Bottom()->value, model.back());
+    }
+    if (op % 1000 == 0) {
+      ASSERT_TRUE(s.CheckInvariants()) << "op " << op;
+    }
+  }
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(LruStackTest, LargeStackRanksStayCorrect) {
+  LruStack s(42);
+  std::vector<LruStack::Node*> nodes;
+  const std::size_t n = 50000;
+  for (ItemHandle i = 0; i < n; ++i) nodes.push_back(s.PushTop(i));
+  // Spot-check ranks across the whole range.
+  for (std::size_t i = 0; i < n; i += 997) {
+    EXPECT_EQ(s.RankFromBottom(nodes[i]), i);
+  }
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(LruStackTest, DeterministicAcrossSeeds) {
+  // Different treap seeds must not change observable (in-order) behavior.
+  LruStack a(1);
+  LruStack b(999);
+  for (ItemHandle i = 0; i < 100; ++i) {
+    a.PushTop(i);
+    b.PushTop(i);
+  }
+  for (std::size_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.KthFromBottom(k)->value, b.KthFromBottom(k)->value);
+  }
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,134 @@
+#include "pamakv/sim/mrc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pamakv/cache/cache_engine.hpp"
+#include "pamakv/policy/no_realloc.hpp"
+#include "pamakv/trace/generators.hpp"
+#include "pamakv/util/zipf.hpp"
+
+namespace pamakv {
+namespace {
+
+Request Get(KeyId key, Bytes size = 100, MicroSecs penalty = 1000) {
+  Request r;
+  r.op = Op::kGet;
+  r.key = key;
+  r.size = size;
+  r.penalty_us = penalty;
+  return r;
+}
+
+TEST(MattsonTest, EmptyProfilerBuildsEmptyCurve) {
+  MattsonProfiler profiler;
+  const auto curve = profiler.Build();
+  EXPECT_EQ(curve.gets, 0u);
+  EXPECT_TRUE(curve.miss_ratio.empty());
+}
+
+TEST(MattsonTest, ColdMissesCounted) {
+  MattsonProfiler profiler(1000);
+  for (KeyId k = 0; k < 10; ++k) profiler.Record(Get(k));
+  const auto curve = profiler.Build();
+  EXPECT_EQ(curve.gets, 10u);
+  EXPECT_EQ(curve.cold_misses, 10u);
+  EXPECT_EQ(profiler.unique_keys(), 10u);
+}
+
+TEST(MattsonTest, TightLoopHitsAtItsFootprint) {
+  // Cycling over 10 items of 100 B (1000 B footprint): with >= 1000 B of
+  // cache the only misses are the 10 cold ones.
+  MattsonProfiler profiler(500);  // 500-byte buckets
+  for (int round = 0; round < 20; ++round) {
+    for (KeyId k = 0; k < 10; ++k) profiler.Record(Get(k, 100));
+  }
+  const auto curve = profiler.Build();
+  ASSERT_GE(curve.miss_ratio.size(), 2u);
+  // At the largest profiled size, only cold misses remain.
+  const double floor = 10.0 / 200.0;
+  EXPECT_NEAR(curve.miss_ratio.back(), floor, 1e-9);
+  // The curve is monotonically non-increasing.
+  for (std::size_t i = 1; i < curve.miss_ratio.size(); ++i) {
+    EXPECT_LE(curve.miss_ratio[i], curve.miss_ratio[i - 1] + 1e-12);
+  }
+}
+
+TEST(MattsonTest, PenaltyCurveWeighsExpensiveKeys) {
+  // Two interleaved loops: cheap keys (1 ms) and expensive keys (100 ms),
+  // equal counts. The penalty curve's drop across the expensive keys'
+  // depth must dwarf the cheap keys' contribution.
+  MattsonProfiler profiler(400);
+  for (int round = 0; round < 50; ++round) {
+    for (KeyId k = 0; k < 4; ++k) profiler.Record(Get(k, 100, 1'000));
+    for (KeyId k = 100; k < 104; ++k) profiler.Record(Get(k, 100, 100'000));
+  }
+  const auto curve = profiler.Build();
+  ASSERT_FALSE(curve.miss_penalty_per_get_us.empty());
+  // Full footprint cached: only cold-miss penalty remains, which is small
+  // relative to one round of the loop.
+  EXPECT_LT(curve.miss_penalty_per_get_us.back(),
+            curve.miss_penalty_per_get_us.front());
+}
+
+TEST(MattsonTest, DelRemovesFromStack) {
+  MattsonProfiler profiler(1000);
+  profiler.Record(Get(1));
+  Request del;
+  del.op = Op::kDel;
+  del.key = 1;
+  profiler.Record(del);
+  EXPECT_EQ(profiler.unique_keys(), 0u);
+  profiler.Record(Get(1));  // cold again
+  const auto curve = profiler.Build();
+  EXPECT_EQ(curve.cold_misses, 2u);
+}
+
+TEST(MattsonTest, SetsTouchWithoutCounting) {
+  MattsonProfiler profiler(1000);
+  Request set;
+  set.op = Op::kSet;
+  set.key = 5;
+  set.size = 100;
+  profiler.Record(set);
+  EXPECT_EQ(profiler.gets(), 0u);
+  profiler.Record(Get(5));
+  const auto curve = profiler.Build();
+  // The SET pre-warmed the key, so the GET is a depth-0 hit, not cold.
+  EXPECT_EQ(curve.cold_misses, 0u);
+}
+
+TEST(MattsonTest, CurveMatchesSimulatedLruOnZipf) {
+  // Ground-truth check: the profiled miss ratio at cache size S must agree
+  // (within tolerance: byte-depth approximation + slab quantization) with
+  // an actual simulation of an LRU cache of size S. Items exactly fill
+  // their class-0 slots (16 B) so profiler bytes == cache bytes, and a
+  // single class keeps the simulated cache a pure LRU.
+  const std::uint64_t key_space = 30'000;
+  ZipfSampler zipf(key_space, 0.9);
+  Rng rng(77);
+  auto next_key = [&] { return zipf.Sample(rng); };
+
+  MattsonProfiler profiler(64 * 1024);
+  Rng replay(77);
+  ZipfSampler zipf_replay(key_space, 0.9);
+  for (int i = 0; i < 150'000; ++i) profiler.Record(Get(next_key(), 16, 1000));
+  const auto curve = profiler.Build();
+
+  const Bytes cache_bytes = 128 * 1024;  // 2 slabs
+  EngineConfig engine_cfg;
+  engine_cfg.capacity_bytes = cache_bytes;
+  CacheEngine engine(engine_cfg, std::make_unique<NoReallocPolicy>());
+  for (int i = 0; i < 150'000; ++i) {
+    const KeyId key = zipf_replay.Sample(replay);
+    if (!engine.Get(key, 16, 1000).hit) {
+      engine.Set(key, 16, 1000);
+    }
+  }
+  const double simulated = 1.0 - engine.stats().HitRatio();
+  const std::size_t bucket = cache_bytes / (64 * 1024) - 1;
+  ASSERT_LT(bucket, curve.miss_ratio.size());
+  EXPECT_NEAR(curve.miss_ratio[bucket], simulated, 0.05);
+}
+
+}  // namespace
+}  // namespace pamakv

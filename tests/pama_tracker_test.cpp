@@ -1,0 +1,176 @@
+// Unit tests for PAMA's segment-value bookkeeping (paper Sec. III, Eq. 1-2)
+// in exact-rank mode, plus window rotation and the pre-PAMA ablation.
+#include <gtest/gtest.h>
+
+#include "pamakv/cache/cache_engine.hpp"
+#include "pamakv/policy/pama.hpp"
+
+namespace pamakv {
+namespace {
+
+// 1 KiB slabs, classes 64/128/256/512 B -> class 3 has 2 slots per slab,
+// which makes segment boundaries easy to reason about.
+EngineConfig TinyConfig(Bytes capacity, std::uint32_t ghost_segments) {
+  EngineConfig cfg;
+  cfg.size_classes.slab_bytes = 1024;
+  cfg.size_classes.min_slot_bytes = 64;
+  cfg.size_classes.num_classes = 4;
+  cfg.capacity_bytes = capacity;
+  cfg.ghost_segments = ghost_segments;
+  return cfg;
+}
+
+struct Harness {
+  explicit Harness(PamaConfig pama_cfg, Bytes capacity = 4096) {
+    auto policy = std::make_unique<PamaPolicy>(pama_cfg);
+    pama = policy.get();
+    engine = std::make_unique<CacheEngine>(
+        TinyConfig(capacity, static_cast<std::uint32_t>(
+                                 pama_cfg.reference_segments + 1)),
+        std::move(policy));
+  }
+  std::unique_ptr<CacheEngine> engine;
+  PamaPolicy* pama = nullptr;
+};
+
+PamaConfig ExactConfig(std::size_t m = 1) {
+  PamaConfig cfg;
+  cfg.reference_segments = m;
+  cfg.window_accesses = 1'000'000;  // effectively no rotation
+  cfg.use_bloom = false;
+  cfg.value_decay = 0.0;  // the paper's tumbling-window reset
+  return cfg;
+}
+
+TEST(PamaTrackerTest, HitsAttributeToCorrectSegments) {
+  Harness h(ExactConfig(/*m=*/1));
+  auto& e = *h.engine;
+  // Class 3 (512 B, 2 slots/slab): insert k1..k6; k1 is the LRU bottom.
+  for (KeyId k = 1; k <= 6; ++k) e.Set(k, 512, 100 * static_cast<MicroSecs>(k));
+
+  // Bottom-up order: k1 k2 | k3 k4 | k5 k6. Segment 0 = {k1,k2},
+  // segment 1 = {k3,k4} (m = 1 -> two tracked segments).
+  e.Get(1, 512, 100);  // rank 0 -> segment 0, value += penalty(k1) = 100
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 100.0);
+
+  // k1 promoted; order now: k2 k3 | k4 k5 | k6 k1.
+  e.Get(4, 512, 400);  // rank 2 -> segment 1, value += 400
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 1), 400.0);
+
+  // k4 promoted; order: k2 k3 | k5 k6 | k1 k4. k4 at rank 5: untracked.
+  e.Get(4, 512, 400);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 1), 400.0);
+}
+
+TEST(PamaTrackerTest, OutgoingValueUsesGeometricWeights) {
+  Harness h(ExactConfig(/*m=*/1));
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 6; ++k) e.Set(k, 512, 1000);
+  e.Get(1, 512, 1000);  // seg 0 += 1000; promotes k1
+  e.Get(3, 512, 1000);  // k3 now at rank 1 -> seg 0 += 1000
+  // Order after: k2 k4 | k5 k6 | k1 k3. Touch k5 (rank 2 -> seg 1).
+  e.Get(5, 512, 1000);
+  // Eq. 2: V = seg0/2 + seg1/4 = 2000/2 + 1000/4.
+  EXPECT_DOUBLE_EQ(h.pama->tracker().OutgoingValue(3, 0), 1250.0);
+}
+
+TEST(PamaTrackerTest, GhostHitsBuildIncomingValue) {
+  Harness h(ExactConfig(/*m=*/1));
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 6; ++k) e.Set(k, 512, 100 * static_cast<MicroSecs>(k));
+  // Evict the three LRU items: k1, k2, k3 (ghost newest-first: k3,k2,k1).
+  ASSERT_TRUE(e.EvictBottom(3, 0));
+  ASSERT_TRUE(e.EvictBottom(3, 0));
+  ASSERT_TRUE(e.EvictBottom(3, 0));
+  // Ghost ranks: k3 -> 0, k2 -> 1 (ghost segment 0); k1 -> 2 (segment 1).
+  e.Get(3, 512, 300);
+  e.Get(2, 512, 200);
+  e.Get(1, 512, 100);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().GhostSegmentValue(3, 0, 0), 500.0);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().GhostSegmentValue(3, 0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().IncomingValue(3, 0), 500.0 / 2 + 100.0 / 4);
+}
+
+TEST(PamaTrackerTest, GhostEntryConsumedOnReinsertion) {
+  Harness h(ExactConfig(/*m=*/1));
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 4; ++k) e.Set(k, 512, 100);
+  ASSERT_TRUE(e.EvictBottom(3, 0));  // k1 to ghost
+  e.Get(1, 512, 100);                // ghost hit
+  e.Set(1, 512, 100);                // re-cached; ghost entry cleared
+  e.Get(1, 512, 100);                // plain hit now
+  EXPECT_DOUBLE_EQ(h.pama->tracker().GhostSegmentValue(3, 0, 0), 100.0);
+}
+
+TEST(PamaTrackerTest, PrePamaCountsRequestsNotPenalties) {
+  PamaConfig cfg = ExactConfig(1);
+  cfg.penalty_aware = false;
+  Harness h(cfg);
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 4; ++k) e.Set(k, 512, 999'999);
+  e.Get(1, 512, 999'999);  // seg 0 += 1 (not the penalty)
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 1.0);
+  EXPECT_EQ(h.pama->name(), "pre-pama");
+}
+
+TEST(PamaTrackerTest, WindowRotationResetsValues) {
+  PamaConfig cfg = ExactConfig(1);
+  cfg.window_accesses = 10;
+  Harness h(cfg);
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 4; ++k) e.Set(k, 512, 100);  // 4 accesses
+  e.Get(1, 512, 100);                                 // 5th: seg0 = 100
+  ASSERT_GT(h.pama->tracker().SegmentValue(3, 0, 0), 0.0);
+  // Push past the window boundary with unrelated requests.
+  for (int i = 0; i < 10; ++i) e.Get(1000, 64, 1);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 0.0);
+}
+
+TEST(PamaTrackerTest, ValueDecayCarriesFraction) {
+  PamaConfig cfg = ExactConfig(1);
+  cfg.window_accesses = 10;
+  cfg.value_decay = 0.5;
+  Harness h(cfg);
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 4; ++k) e.Set(k, 512, 100);
+  e.Get(1, 512, 100);  // seg0 = 100
+  for (int i = 0; i < 10; ++i) e.Get(1000, 64, 1);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 50.0);
+}
+
+TEST(PamaTrackerTest, ExactModeHasNoFilterFootprint) {
+  Harness h(ExactConfig(1));
+  EXPECT_EQ(h.pama->tracker().FilterFootprintBytes(), 0u);
+}
+
+TEST(PamaTrackerTest, BloomModeReportsFootprint) {
+  PamaConfig cfg = ExactConfig(1);
+  cfg.use_bloom = true;
+  Harness h(cfg);
+  EXPECT_GT(h.pama->tracker().FilterFootprintBytes(), 0u);
+}
+
+TEST(PamaTrackerTest, BloomModeAttributesAfterRebuild) {
+  PamaConfig cfg;
+  cfg.reference_segments = 1;
+  cfg.window_accesses = 8;
+  cfg.use_bloom = true;
+  Harness h(cfg);
+  auto& e = *h.engine;
+  for (KeyId k = 1; k <= 6; ++k) e.Set(k, 512, 100);  // 6 accesses
+  // Cross the boundary so the filters snapshot the current stack.
+  e.Get(999, 64, 1);
+  e.Get(999, 64, 1);
+  e.Get(999, 64, 1);  // rotation happened at one of these ticks
+  // Now k1 (stack bottom) is in segment 0's filter.
+  e.Get(1, 512, 100);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 100.0);
+  // A second access to the same key was promoted out of the region and
+  // marked removed: it must not double-count.
+  e.Get(1, 512, 100);
+  EXPECT_DOUBLE_EQ(h.pama->tracker().SegmentValue(3, 0, 0), 100.0);
+}
+
+}  // namespace
+}  // namespace pamakv

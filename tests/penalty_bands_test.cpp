@@ -1,0 +1,46 @@
+#include "pamakv/cache/penalty_bands.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pamakv {
+namespace {
+
+TEST(PenaltyBandsTest, PaperDefaultHasFiveBands) {
+  const auto t = PenaltyBandTable::PaperDefault();
+  EXPECT_EQ(t.num_bands(), 5u);
+}
+
+TEST(PenaltyBandsTest, PaperBandBoundaries) {
+  const auto t = PenaltyBandTable::PaperDefault();
+  // (0, 1ms], (1, 10ms], (10, 100ms], (100, 1000ms], (1s, 5s]
+  EXPECT_EQ(t.BandFor(1), SubclassId{0});
+  EXPECT_EQ(t.BandFor(1'000), SubclassId{0});
+  EXPECT_EQ(t.BandFor(1'001), SubclassId{1});
+  EXPECT_EQ(t.BandFor(10'000), SubclassId{1});
+  EXPECT_EQ(t.BandFor(100'000), SubclassId{2});
+  EXPECT_EQ(t.BandFor(1'000'000), SubclassId{3});
+  EXPECT_EQ(t.BandFor(5'000'000), SubclassId{4});
+}
+
+TEST(PenaltyBandsTest, BeyondLastBoundClampsToLastBand) {
+  const auto t = PenaltyBandTable::PaperDefault();
+  EXPECT_EQ(t.BandFor(10'000'000), SubclassId{4});
+}
+
+TEST(PenaltyBandsTest, EmptyTableIsSingleBand) {
+  const PenaltyBandTable t;
+  EXPECT_EQ(t.num_bands(), 1u);
+  EXPECT_EQ(t.BandFor(1), SubclassId{0});
+  EXPECT_EQ(t.BandFor(5'000'000), SubclassId{0});
+}
+
+TEST(PenaltyBandsTest, CustomBands) {
+  const PenaltyBandTable t({100, 200});
+  EXPECT_EQ(t.num_bands(), 2u);
+  EXPECT_EQ(t.BandFor(50), SubclassId{0});
+  EXPECT_EQ(t.BandFor(150), SubclassId{1});
+  EXPECT_EQ(t.BandFor(300), SubclassId{1});
+}
+
+}  // namespace
+}  // namespace pamakv

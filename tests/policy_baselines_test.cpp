@@ -1,0 +1,231 @@
+// Behavioral tests for the baseline allocation policies the paper compares
+// against (Sec. II): original Memcached, PSA, Twemcache, Facebook's
+// age balancer.
+#include <gtest/gtest.h>
+
+#include "pamakv/cache/cache_engine.hpp"
+#include "pamakv/policy/facebook_age.hpp"
+#include "pamakv/policy/no_realloc.hpp"
+#include "pamakv/policy/psa.hpp"
+#include "pamakv/policy/twemcache.hpp"
+
+namespace pamakv {
+namespace {
+
+// 1 KiB slabs, classes 64/128/256/512 B.
+EngineConfig TinyConfig(Bytes capacity) {
+  EngineConfig cfg;
+  cfg.size_classes.slab_bytes = 1024;
+  cfg.size_classes.min_slot_bytes = 64;
+  cfg.size_classes.num_classes = 4;
+  cfg.capacity_bytes = capacity;
+  return cfg;
+}
+
+// ---------------- Original Memcached ----------------
+
+TEST(NoReallocTest, AllocationsFreezeAfterWarmup) {
+  CacheEngine engine(TinyConfig(2048), std::make_unique<NoReallocPolicy>());
+  // Warm up: class 0 and class 3 take one slab each.
+  engine.Set(1, 50, 100);
+  engine.Set(2, 512, 100);
+  ASSERT_EQ(engine.pool().free_slabs(), 0u);
+  const auto slabs0 = engine.pool().ClassSlabCount(0);
+  const auto slabs3 = engine.pool().ClassSlabCount(3);
+  // Heavy churn in class 3 cannot take class 0's slab.
+  for (KeyId k = 100; k < 200; ++k) engine.Set(k, 512, 100);
+  EXPECT_EQ(engine.pool().ClassSlabCount(0), slabs0);
+  EXPECT_EQ(engine.pool().ClassSlabCount(3), slabs3);
+  EXPECT_EQ(engine.stats().slab_migrations, 0u);
+  EXPECT_TRUE(engine.Contains(1));  // class 0's item untouched
+}
+
+TEST(NoReallocTest, EvictsWithinOwnClass) {
+  CacheEngine engine(TinyConfig(1024), std::make_unique<NoReallocPolicy>());
+  engine.Set(1, 512, 100);
+  engine.Set(2, 512, 100);
+  engine.Set(3, 512, 100);
+  EXPECT_FALSE(engine.Contains(1));
+  EXPECT_TRUE(engine.Contains(2));
+  EXPECT_TRUE(engine.Contains(3));
+}
+
+// ---------------- PSA ----------------
+
+class PsaTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<CacheEngine> MakeEngine(Bytes capacity, PsaConfig cfg) {
+    auto policy = std::make_unique<PsaPolicy>(cfg);
+    psa_ = policy.get();
+    return std::make_unique<CacheEngine>(TinyConfig(capacity),
+                                         std::move(policy));
+  }
+  PsaPolicy* psa_ = nullptr;
+};
+
+TEST_F(PsaTest, CountsRequestsAndMissesPerClass) {
+  PsaConfig cfg;
+  cfg.window_accesses = 1'000'000;  // never rotates in this test
+  auto engine = MakeEngine(4096, cfg);
+  engine->Set(1, 50, 100);
+  engine->Get(1, 50, 100);   // hit in class 0
+  engine->Get(2, 50, 100);   // miss routed to class 0
+  engine->Get(3, 512, 100);  // miss routed to class 3
+  EXPECT_EQ(psa_->WindowRequests(0), 2u);
+  EXPECT_EQ(psa_->WindowMisses(0), 1u);
+  EXPECT_EQ(psa_->WindowMisses(3), 1u);
+}
+
+TEST_F(PsaTest, WindowRotationResetsCounters) {
+  PsaConfig cfg;
+  cfg.window_accesses = 4;
+  auto engine = MakeEngine(4096, cfg);
+  engine->Get(2, 50, 100);
+  engine->Get(3, 50, 100);
+  EXPECT_GT(psa_->WindowMisses(0), 0u);
+  for (int i = 0; i < 5; ++i) engine->Get(100, 512, 100);
+  EXPECT_EQ(psa_->WindowRequests(0), 0u);  // class 0 counters cleared
+}
+
+TEST_F(PsaTest, RelocatesFromLowDensityToMissHeavyClass) {
+  PsaConfig cfg;
+  cfg.misses_per_relocation = 8;
+  cfg.window_accesses = 1'000'000;
+  auto engine = MakeEngine(2048, cfg);  // 2 slabs
+  // Class 0 takes a slab with one cold item; class 3 takes the other.
+  engine->Set(1, 50, 100);
+  engine->Set(2, 512, 100);
+  engine->Set(3, 512, 100);
+  ASSERT_EQ(engine->pool().free_slabs(), 0u);
+  // Hammer class 3 with misses; class 0 stays idle (lowest density).
+  for (KeyId k = 100; k < 160; ++k) {
+    engine->Get(k, 512, 100);
+    engine->Set(k, 512, 100);
+  }
+  EXPECT_EQ(engine->pool().ClassSlabCount(0), 0u);
+  EXPECT_EQ(engine->pool().ClassSlabCount(3), 2u);
+  EXPECT_GT(engine->stats().slab_migrations, 0u);
+}
+
+TEST_F(PsaTest, StarvedClassEventuallyServed) {
+  PsaConfig cfg;
+  cfg.misses_per_relocation = 1000000;  // periodic path never triggers
+  auto engine = MakeEngine(1024, cfg);  // single slab
+  engine->Set(1, 512, 100);             // class 3 owns the only slab
+  // Class 0 store must succeed by pulling the slab from class 3.
+  const auto result = engine->Set(2, 50, 100);
+  EXPECT_TRUE(result.stored);
+  EXPECT_EQ(engine->pool().ClassSlabCount(0), 1u);
+  EXPECT_EQ(engine->pool().ClassSlabCount(3), 0u);
+}
+
+// ---------------- Twemcache ----------------
+
+TEST(TwemcacheTest, MakesRoomViaRandomDonor) {
+  CacheEngine engine(TinyConfig(2048),
+                     std::make_unique<TwemcachePolicy>(123));
+  engine.Set(1, 50, 100);   // class 0
+  engine.Set(2, 512, 100);  // class 3
+  ASSERT_EQ(engine.pool().free_slabs(), 0u);
+  // Class 1 needs space; some class must donate.
+  const auto result = engine.Set(3, 100, 100);
+  EXPECT_TRUE(result.stored);
+  EXPECT_EQ(engine.pool().ClassSlabCount(1), 1u);
+}
+
+TEST(TwemcacheTest, DeterministicForFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    CacheEngine engine(TinyConfig(4096),
+                       std::make_unique<TwemcachePolicy>(seed));
+    for (KeyId k = 0; k < 300; ++k) {
+      engine.Set(k, 50 + (k % 4) * 128, 100);
+    }
+    std::vector<std::size_t> slabs;
+    for (ClassId c = 0; c < 4; ++c) slabs.push_back(engine.pool().ClassSlabCount(c));
+    return slabs;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(TwemcacheTest, SpreadsEvictionsAcrossClasses) {
+  CacheEngine engine(TinyConfig(8192),
+                     std::make_unique<TwemcachePolicy>(99));
+  // Fill with all four classes, then churn class 0 hard.
+  for (KeyId k = 0; k < 400; ++k) engine.Set(k, 50 + (k % 4) * 128, 100);
+  const auto before3 = engine.pool().ClassSlabCount(3);
+  for (KeyId k = 1000; k < 1400; ++k) engine.Set(k, 50, 100);
+  // Random donation should, with overwhelming probability, have taken at
+  // least one slab from some other class.
+  const bool someone_donated = engine.pool().ClassSlabCount(1) +
+                                   engine.pool().ClassSlabCount(2) +
+                                   engine.pool().ClassSlabCount(3) <
+                               before3 + engine.pool().ClassSlabCount(1) +
+                                   engine.pool().ClassSlabCount(2);
+  (void)someone_donated;  // structural assertion below is the real check
+  EXPECT_GT(engine.stats().slab_migrations, 0u);
+}
+
+// ---------------- Facebook age balancer ----------------
+
+TEST(FacebookAgeTest, MovesSlabTowardYoungClass) {
+  FacebookAgeConfig cfg;
+  cfg.check_interval = 10;
+  auto policy = std::make_unique<FacebookAgePolicy>(cfg);
+  CacheEngine engine(TinyConfig(3072), std::move(policy));  // 3 slabs
+  // Class 3: 2 slabs of stale items. Class 0: 1 slab, constantly churning.
+  engine.Set(1, 512, 100);
+  engine.Set(2, 512, 100);
+  engine.Set(3, 512, 100);
+  engine.Set(4, 512, 100);
+  for (KeyId k = 10; k < 200; ++k) {
+    engine.Set(1000 + k, 50, 100);  // class 0 churns, its LRU age is tiny
+    engine.Get(1000 + k, 50, 100);
+  }
+  // The balancer should have moved at least one slab from the stale class 3
+  // toward class 0.
+  EXPECT_GT(engine.pool().ClassSlabCount(0), 1u);
+  EXPECT_LT(engine.pool().ClassSlabCount(3), 2u);
+}
+
+TEST(FacebookAgeTest, BalancedAgesStayPut) {
+  // Three classes, eight items each, touched round-robin with the class
+  // varying fastest: every class's LRU tail age stays within one or two
+  // accesses of the others — far inside the 20% tolerance — so the
+  // balancer must not move anything.
+  FacebookAgeConfig cfg;
+  cfg.check_interval = 7;
+  CacheEngine engine(TinyConfig(4096),
+                     std::make_unique<FacebookAgePolicy>(cfg));
+  auto key_of = [](ClassId c, int i) {
+    return static_cast<KeyId>(c) * 100 + static_cast<KeyId>(i);
+  };
+  const Bytes size_of_class[3] = {64, 128, 256};
+  for (int i = 0; i < 8; ++i) {
+    for (ClassId c = 0; c < 3; ++c) {
+      engine.Set(key_of(c, i), size_of_class[c], 100);
+    }
+  }
+  ASSERT_EQ(engine.pool().free_slabs(), 0u);
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      for (ClassId c = 0; c < 3; ++c) {
+        engine.Get(key_of(c, i), size_of_class[c], 100);
+      }
+    }
+  }
+  EXPECT_EQ(engine.stats().slab_migrations, 0u);
+}
+
+TEST(FacebookAgeTest, NoBalancingWhileFreeSlabsRemain) {
+  FacebookAgeConfig cfg;
+  cfg.check_interval = 1;
+  CacheEngine engine(TinyConfig(8192),  // plenty of free slabs
+                     std::make_unique<FacebookAgePolicy>(cfg));
+  engine.Set(1, 50, 100);
+  engine.Set(2, 512, 100);
+  for (int round = 0; round < 50; ++round) engine.Get(1, 50, 100);
+  EXPECT_EQ(engine.stats().slab_migrations, 0u);
+}
+
+}  // namespace
+}  // namespace pamakv

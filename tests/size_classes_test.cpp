@@ -1,0 +1,79 @@
+#include "pamakv/slab/size_classes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pamakv {
+namespace {
+
+SizeClassConfig DefaultConfig() { return SizeClassConfig{}; }
+
+TEST(SizeClassTest, DefaultGeometryMatchesScaledMemcached) {
+  const SizeClassTable t(DefaultConfig());
+  EXPECT_EQ(t.num_classes(), 12u);
+  EXPECT_EQ(t.SlotBytes(0), 16u);
+  EXPECT_EQ(t.SlotBytes(1), 32u);
+  EXPECT_EQ(t.SlotBytes(11), 32768u);
+  EXPECT_EQ(t.slab_bytes(), 64u * 1024);
+  EXPECT_EQ(t.SlotsPerSlab(0), 4096u);
+  EXPECT_EQ(t.SlotsPerSlab(11), 2u);
+  EXPECT_EQ(t.max_item_bytes(), 32768u);
+}
+
+TEST(SizeClassTest, PaperGeometry) {
+  // The paper's actual Memcached geometry: 64 B first class, 1 MiB slabs.
+  SizeClassConfig cfg;
+  cfg.min_slot_bytes = 64;
+  cfg.slab_bytes = 1024 * 1024;
+  cfg.num_classes = 12;
+  const SizeClassTable t(cfg);
+  EXPECT_EQ(t.SlotBytes(0), 64u);
+  EXPECT_EQ(t.SlotsPerSlab(0), 16384u);
+  EXPECT_EQ(t.SlotBytes(11), 131072u);
+}
+
+TEST(SizeClassTest, ClassForSizeBoundaries) {
+  const SizeClassTable t(DefaultConfig());
+  EXPECT_EQ(t.ClassForSize(1), ClassId{0});
+  EXPECT_EQ(t.ClassForSize(16), ClassId{0});
+  EXPECT_EQ(t.ClassForSize(17), ClassId{1});
+  EXPECT_EQ(t.ClassForSize(32), ClassId{1});
+  EXPECT_EQ(t.ClassForSize(33), ClassId{2});
+  EXPECT_EQ(t.ClassForSize(32768), ClassId{11});
+  EXPECT_EQ(t.ClassForSize(32769), std::nullopt);
+}
+
+TEST(SizeClassTest, ZeroSizeGoesToSmallestClass) {
+  const SizeClassTable t(DefaultConfig());
+  EXPECT_EQ(t.ClassForSize(0), ClassId{0});
+}
+
+TEST(SizeClassTest, NonPowerOfTwoGrowth) {
+  SizeClassConfig cfg;
+  cfg.min_slot_bytes = 100;
+  cfg.growth_factor = 1.25;  // Memcached's actual default factor
+  cfg.num_classes = 10;
+  cfg.slab_bytes = 1024 * 1024;
+  const SizeClassTable t(cfg);
+  EXPECT_EQ(t.SlotBytes(0), 100u);
+  EXPECT_EQ(t.SlotBytes(1), 125u);
+  for (ClassId c = 1; c < t.num_classes(); ++c) {
+    EXPECT_GT(t.SlotBytes(c), t.SlotBytes(c - 1));
+  }
+}
+
+TEST(SizeClassTest, InvalidConfigsThrow) {
+  SizeClassConfig bad;
+  bad.slab_bytes = 0;
+  EXPECT_THROW(SizeClassTable{bad}, std::invalid_argument);
+
+  bad = SizeClassConfig{};
+  bad.growth_factor = 1.0;
+  EXPECT_THROW(SizeClassTable{bad}, std::invalid_argument);
+
+  bad = SizeClassConfig{};
+  bad.num_classes = 30;  // slot would exceed slab size
+  EXPECT_THROW(SizeClassTable{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pamakv

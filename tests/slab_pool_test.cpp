@@ -1,0 +1,136 @@
+#include "pamakv/slab/slab_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pamakv {
+namespace {
+
+class SlabPoolTest : public ::testing::Test {
+ protected:
+  SlabPoolTest() : classes_(SizeClassConfig{}), pool_(1024 * 1024, classes_) {}
+  SizeClassTable classes_;  // 64 KiB slabs -> 16 slabs in 1 MiB
+  SlabPool pool_;           // single subclass per class
+};
+
+TEST_F(SlabPoolTest, InitialStateAllFree) {
+  EXPECT_EQ(pool_.total_slabs(), 16u);
+  EXPECT_EQ(pool_.free_slabs(), 16u);
+  EXPECT_EQ(pool_.num_subclasses(), 1u);
+  for (ClassId c = 0; c < classes_.num_classes(); ++c) {
+    EXPECT_EQ(pool_.SlabCount(c, 0), 0u);
+    EXPECT_EQ(pool_.SlotsInUse(c, 0), 0u);
+    EXPECT_EQ(pool_.ClassSlabCount(c), 0u);
+  }
+}
+
+TEST_F(SlabPoolTest, GrantAssignsFromFreePool) {
+  EXPECT_TRUE(pool_.GrantFreeSlab(3, 0));
+  EXPECT_EQ(pool_.free_slabs(), 15u);
+  EXPECT_EQ(pool_.SlabCount(3, 0), 1u);
+  EXPECT_EQ(pool_.FreeSlots(3, 0), classes_.SlotsPerSlab(3));
+}
+
+TEST_F(SlabPoolTest, GrantFailsWhenExhausted) {
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(pool_.GrantFreeSlab(0, 0));
+  EXPECT_FALSE(pool_.GrantFreeSlab(0, 0));
+  EXPECT_EQ(pool_.free_slabs(), 0u);
+}
+
+TEST_F(SlabPoolTest, SlotAccounting) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(11, 0));  // 2 slots per slab
+  EXPECT_TRUE(pool_.AcquireSlot(11, 0));
+  EXPECT_TRUE(pool_.AcquireSlot(11, 0));
+  EXPECT_FALSE(pool_.AcquireSlot(11, 0));  // slab full
+  EXPECT_EQ(pool_.SlotsInUse(11, 0), 2u);
+  pool_.ReleaseSlot(11, 0);
+  EXPECT_TRUE(pool_.AcquireSlot(11, 0));
+}
+
+TEST_F(SlabPoolTest, AcquireWithoutSlabFails) {
+  EXPECT_FALSE(pool_.AcquireSlot(0, 0));
+}
+
+TEST_F(SlabPoolTest, TransferMovesOwnership) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(2, 0));
+  ASSERT_TRUE(pool_.GrantFreeSlab(2, 0));
+  pool_.TransferSlab(2, 0, 5, 0);
+  EXPECT_EQ(pool_.SlabCount(2, 0), 1u);
+  EXPECT_EQ(pool_.SlabCount(5, 0), 1u);
+  EXPECT_EQ(pool_.free_slabs(), 14u);
+}
+
+TEST_F(SlabPoolTest, CanReleaseSlabRequiresFreeSlots) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(11, 0));  // 2 slots
+  EXPECT_TRUE(pool_.CanReleaseSlab(11, 0));
+  ASSERT_TRUE(pool_.AcquireSlot(11, 0));
+  EXPECT_FALSE(pool_.CanReleaseSlab(11, 0));
+  pool_.ReleaseSlot(11, 0);
+  EXPECT_TRUE(pool_.CanReleaseSlab(11, 0));
+}
+
+TEST_F(SlabPoolTest, EvictionsNeededToFreeSlab) {
+  EXPECT_EQ(pool_.EvictionsNeededToFreeSlab(11, 0), 0u);  // no slab at all
+  ASSERT_TRUE(pool_.GrantFreeSlab(11, 0));
+  EXPECT_EQ(pool_.EvictionsNeededToFreeSlab(11, 0), 0u);  // already free
+  ASSERT_TRUE(pool_.AcquireSlot(11, 0));
+  EXPECT_EQ(pool_.EvictionsNeededToFreeSlab(11, 0), 1u);
+  ASSERT_TRUE(pool_.AcquireSlot(11, 0));
+  EXPECT_EQ(pool_.EvictionsNeededToFreeSlab(11, 0), 2u);
+}
+
+TEST_F(SlabPoolTest, MultiSlabFreeSlotsSpanSlabs) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(11, 0));
+  ASSERT_TRUE(pool_.GrantFreeSlab(11, 0));
+  ASSERT_TRUE(pool_.AcquireSlot(11, 0));
+  ASSERT_TRUE(pool_.AcquireSlot(11, 0));
+  ASSERT_TRUE(pool_.AcquireSlot(11, 0));
+  // 3 of 4 slots used: one eviction frees a slab's worth.
+  EXPECT_EQ(pool_.FreeSlots(11, 0), 1u);
+  EXPECT_EQ(pool_.EvictionsNeededToFreeSlab(11, 0), 1u);
+  EXPECT_FALSE(pool_.CanReleaseSlab(11, 0));
+}
+
+// ---- Subclass-granular ownership (PAMA's penalty bands) ----
+
+class SubclassPoolTest : public ::testing::Test {
+ protected:
+  SubclassPoolTest()
+      : classes_(SizeClassConfig{}),
+        pool_(1024 * 1024, classes_, /*num_subclasses=*/5) {}
+  SizeClassTable classes_;
+  SlabPool pool_;
+};
+
+TEST_F(SubclassPoolTest, SubclassesOwnSlabsIndependently) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(0, 2));
+  EXPECT_EQ(pool_.SlabCount(0, 2), 1u);
+  EXPECT_EQ(pool_.SlabCount(0, 0), 0u);
+  // Another band of the same class cannot use band 2's slots.
+  EXPECT_TRUE(pool_.AcquireSlot(0, 2));
+  EXPECT_FALSE(pool_.AcquireSlot(0, 0));
+  EXPECT_EQ(pool_.ClassSlabCount(0), 1u);
+  EXPECT_EQ(pool_.ClassSlotsInUse(0), 1u);
+}
+
+TEST_F(SubclassPoolTest, TransferAcrossBandsWithinClass) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(3, 0));
+  pool_.TransferSlab(3, 0, 3, 4);
+  EXPECT_EQ(pool_.SlabCount(3, 0), 0u);
+  EXPECT_EQ(pool_.SlabCount(3, 4), 1u);
+  EXPECT_EQ(pool_.ClassSlabCount(3), 1u);
+}
+
+TEST_F(SubclassPoolTest, TransferAcrossClassesAndBands) {
+  ASSERT_TRUE(pool_.GrantFreeSlab(1, 1));
+  pool_.TransferSlab(1, 1, 8, 3);
+  EXPECT_EQ(pool_.SlabCount(1, 1), 0u);
+  EXPECT_EQ(pool_.SlabCount(8, 3), 1u);
+}
+
+TEST(SlabPoolStandaloneTest, TooSmallCapacityThrows) {
+  const SizeClassTable classes(SizeClassConfig{});
+  EXPECT_THROW(SlabPool(1024, classes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -1,0 +1,77 @@
+#include "pamakv/cache/string_keys.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pamakv/policy/no_realloc.hpp"
+
+namespace pamakv {
+namespace {
+
+StringKeyCache MakeCache(Bytes capacity = 4ULL * 1024 * 1024) {
+  EngineConfig cfg;
+  cfg.capacity_bytes = capacity;
+  return StringKeyCache(std::make_unique<CacheEngine>(
+      cfg, std::make_unique<NoReallocPolicy>()));
+}
+
+TEST(StringKeyTest, HashIsDeterministicAndSpreads) {
+  EXPECT_EQ(HashStringKey("user:42"), HashStringKey("user:42"));
+  std::set<KeyId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.insert(HashStringKey("key:" + std::to_string(i)));
+  }
+  EXPECT_EQ(ids.size(), 10000u);
+}
+
+TEST(StringKeyTest, EmptyAndBinaryKeysWork) {
+  EXPECT_NE(HashStringKey(""), HashStringKey(std::string_view("\0", 1)));
+  EXPECT_NE(HashStringKey("a"), HashStringKey("b"));
+}
+
+TEST(StringKeyTest, SetGetDelRoundTrip) {
+  auto cache = MakeCache();
+  EXPECT_TRUE(cache.Set("session:alice", 200, 30'000).stored);
+  EXPECT_TRUE(cache.Get("session:alice", 200, 30'000).hit);
+  EXPECT_FALSE(cache.Get("session:bob", 200, 30'000).hit);
+  EXPECT_TRUE(cache.Contains("session:alice"));
+  EXPECT_TRUE(cache.Del("session:alice"));
+  EXPECT_FALSE(cache.Contains("session:alice"));
+  EXPECT_FALSE(cache.Del("session:alice"));
+}
+
+TEST(StringKeyTest, ManyKeysNoFalseHits) {
+  auto cache = MakeCache();
+  for (int i = 0; i < 2000; ++i) {
+    cache.Set("item/" + std::to_string(i), 64, 1000);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(cache.Contains("item/" + std::to_string(i))) << i;
+  }
+  for (int i = 2000; i < 4000; ++i) {
+    EXPECT_FALSE(cache.Contains("item/" + std::to_string(i))) << i;
+  }
+  EXPECT_EQ(cache.collisions_resolved(), 0u);
+}
+
+TEST(StringKeyTest, UpdatesKeepOneCopy) {
+  auto cache = MakeCache();
+  cache.Set("k", 64, 1000);
+  cache.Set("k", 128, 2000);
+  EXPECT_EQ(cache.engine().item_count(), 1u);
+  EXPECT_TRUE(cache.Get("k", 128, 2000).hit);
+}
+
+TEST(StringKeyTest, StatsFlowThrough) {
+  auto cache = MakeCache();
+  cache.Set("x", 64, 1000);
+  cache.Get("x", 64, 1000);
+  cache.Get("y", 64, 5000);
+  EXPECT_EQ(cache.stats().gets, 2u);
+  EXPECT_EQ(cache.stats().get_hits, 1u);
+  EXPECT_EQ(cache.stats().miss_penalty_total_us, 5000u);
+}
+
+}  // namespace
+}  // namespace pamakv

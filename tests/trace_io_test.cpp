@@ -1,0 +1,172 @@
+#include "pamakv/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pamakv/trace/generators.hpp"
+
+namespace pamakv {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "pamakv_trace_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+std::vector<Request> SampleRequests() {
+  return {
+      {100, Op::kGet, 42, 512, 2000},
+      {250, Op::kSet, 7, 64, 100'000},
+      {300, Op::kDel, 42, 512, 2000},
+      {450, Op::kGet, 0, 1, 5'000'000},
+  };
+}
+
+void ExpectEqual(const Request& a, const Request& b) {
+  EXPECT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.size, b.size);
+  EXPECT_EQ(a.penalty_us, b.penalty_us);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const auto requests = SampleRequests();
+  {
+    BinaryTraceWriter writer(path_);
+    for (const auto& r : requests) writer.Write(r);
+    writer.Close();
+    EXPECT_EQ(writer.written(), requests.size());
+  }
+  BinaryTraceReader reader(path_);
+  EXPECT_EQ(reader.TotalRequests(), requests.size());
+  Request r;
+  for (const auto& expected : requests) {
+    ASSERT_TRUE(reader.Next(r));
+    ExpectEqual(r, expected);
+    EXPECT_EQ(r.timestamp_us, expected.timestamp_us);
+  }
+  EXPECT_FALSE(reader.Next(r));
+}
+
+TEST_F(TraceIoTest, BinaryReaderReset) {
+  {
+    BinaryTraceWriter writer(path_);
+    for (const auto& r : SampleRequests()) writer.Write(r);
+  }
+  BinaryTraceReader reader(path_);
+  Request r;
+  while (reader.Next(r)) {
+  }
+  reader.Reset();
+  std::uint64_t count = 0;
+  while (reader.Next(r)) ++count;
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsGarbage) {
+  {
+    std::ofstream out(path_);
+    out << "definitely not a trace file";
+  }
+  EXPECT_THROW(BinaryTraceReader{path_}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BinaryMissingFileThrows) {
+  EXPECT_THROW(BinaryTraceReader{"/nonexistent/path.pkvt"},
+               std::runtime_error);
+  EXPECT_THROW(BinaryTraceWriter{"/nonexistent/dir/file.pkvt"},
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  const auto requests = SampleRequests();
+  {
+    CsvTraceWriter writer(path_);
+    for (const auto& r : requests) writer.Write(r);
+    writer.Close();
+  }
+  CsvTraceReader reader(path_);
+  Request r;
+  for (const auto& expected : requests) {
+    ASSERT_TRUE(reader.Next(r));
+    ExpectEqual(r, expected);
+  }
+  EXPECT_FALSE(reader.Next(r));
+}
+
+TEST_F(TraceIoTest, CsvReaderSkipsMalformedLines) {
+  {
+    std::ofstream out(path_);
+    out << "op,key,size,penalty_us,timestamp_us\n";
+    out << "GET,1,100,2000,5\n";
+    out << "garbage line\n";
+    out << "FROB,2,100,2000,5\n";  // unknown op
+    out << "SET,3,50,1000,9\n";
+  }
+  CsvTraceReader reader(path_);
+  Request r;
+  ASSERT_TRUE(reader.Next(r));
+  EXPECT_EQ(r.key, 1u);
+  ASSERT_TRUE(reader.Next(r));
+  EXPECT_EQ(r.key, 3u);
+  EXPECT_EQ(static_cast<int>(r.op), static_cast<int>(Op::kSet));
+  EXPECT_FALSE(reader.Next(r));
+}
+
+TEST_F(TraceIoTest, CsvWithoutHeaderStillParses) {
+  {
+    std::ofstream out(path_);
+    out << "GET,9,64,500,1\n";
+  }
+  CsvTraceReader reader(path_);
+  Request r;
+  ASSERT_TRUE(reader.Next(r));
+  EXPECT_EQ(r.key, 9u);
+}
+
+TEST_F(TraceIoTest, CsvReaderReset) {
+  {
+    CsvTraceWriter writer(path_);
+    for (const auto& r : SampleRequests()) writer.Write(r);
+  }
+  CsvTraceReader reader(path_);
+  Request r;
+  std::uint64_t first = 0;
+  while (reader.Next(r)) ++first;
+  reader.Reset();
+  std::uint64_t second = 0;
+  while (reader.Next(r)) ++second;
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(TraceIoTest, DumpTraceFromGenerator) {
+  auto cfg = SysWorkload(250);
+  SyntheticTrace trace(cfg);
+  const auto written = DumpTrace(trace, path_);
+  EXPECT_EQ(written, 250u);
+
+  // The dumped file replays identically to a fresh generator.
+  trace.Reset();
+  BinaryTraceReader reader(path_);
+  Request from_file;
+  Request from_gen;
+  while (reader.Next(from_file)) {
+    ASSERT_TRUE(trace.Next(from_gen));
+    ExpectEqual(from_file, from_gen);
+  }
+  EXPECT_FALSE(trace.Next(from_gen));
+}
+
+}  // namespace
+}  // namespace pamakv
