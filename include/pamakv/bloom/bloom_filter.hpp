@@ -18,7 +18,8 @@ namespace pamakv {
 class BloomFilter {
  public:
   /// Sizes the filter for the target capacity and false-positive rate.
-  /// bits = -n ln(p) / (ln 2)^2, k = (bits/n) ln 2, both clamped to sane
+  /// bits = -n ln(p) / (ln 2)^2 rounded up to a power of two (probes reduce
+  /// with a mask, not a divide), k = (bits/n) ln 2, both clamped to sane
   /// minimums so tiny segments still get a working filter.
   BloomFilter(std::size_t expected_items, double false_positive_rate);
 
@@ -44,6 +45,7 @@ class BloomFilter {
   [[nodiscard]] static HashPair HashKey(KeyId key) noexcept;
 
   std::size_t bit_count_;
+  std::uint64_t bit_mask_ = 0;
   std::size_t hash_count_;
   std::size_t added_ = 0;
   std::vector<std::uint64_t> words_;

@@ -28,6 +28,11 @@ class HashIndex {
   /// Removes the mapping; returns false if absent.
   bool Erase(KeyId key) noexcept;
 
+  /// Grows the table (never shrinks) so `expected_keys` entries fit without
+  /// triggering a load-factor rehash. Called once up front (the engine sizes
+  /// it from its slot budget) to avoid rehash storms during warmup.
+  void Reserve(std::size_t expected_keys);
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
@@ -36,14 +41,28 @@ class HashIndex {
     KeyId key = 0;
     ItemHandle handle = kInvalidHandle;  // kInvalidHandle marks "empty"
   };
+  static constexpr std::size_t kSlotsPerCacheLine = 64 / sizeof(Slot);
 
   [[nodiscard]] std::size_t IdealSlot(KeyId key) const noexcept {
     return static_cast<std::size_t>(Mix64(key)) & mask_;
+  }
+  /// Software prefetch of the slot's cache line: the mixed hash makes every
+  /// probe start a random access, so issuing the prefetch as soon as the
+  /// position is known overlaps the memory latency with the remaining
+  /// address arithmetic. Clusters are short (load < 0.7), so prefetching
+  /// one line ahead of the probe covers almost every chain.
+  void PrefetchSlot(std::size_t pos) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[pos], 0 /*read*/, 1 /*low temporal locality*/);
+#else
+    (void)pos;
+#endif
   }
   [[nodiscard]] std::size_t ProbeDistance(std::size_t pos) const noexcept {
     return (pos - IdealSlot(slots_[pos].key)) & mask_;
   }
   void Grow();
+  void Rehash(std::size_t new_capacity);
   static std::size_t RoundUpPow2(std::size_t n) noexcept;
 
   std::vector<Slot> slots_;

@@ -48,9 +48,13 @@ class ShardedCache {
     return *shards_.at(i);
   }
   [[nodiscard]] std::size_t ShardIndexFor(KeyId key) const noexcept {
-    // Mix with a distinct salt so shard routing is independent of the
-    // engines' internal hashing.
-    return static_cast<std::size_t>(Mix64(key ^ kShardSalt) % shards_.size());
+    return ShardIndexFor(key, shards_.size());
+  }
+  /// Routing function shared with ParallelSimulator: mixes with a distinct
+  /// salt so shard routing is independent of the engines' internal hashing.
+  [[nodiscard]] static std::size_t ShardIndexFor(
+      KeyId key, std::size_t shard_count) noexcept {
+    return static_cast<std::size_t>(Mix64(key ^ kShardSalt) % shard_count);
   }
 
   /// Aggregated statistics across shards.

@@ -39,6 +39,9 @@ struct CacheStats {
 
   /// Component-wise difference (this - earlier); used for window metrics.
   [[nodiscard]] CacheStats Since(const CacheStats& earlier) const noexcept;
+
+  /// Component-wise accumulation; used to aggregate per-shard stats.
+  CacheStats& operator+=(const CacheStats& other) noexcept;
 };
 
 }  // namespace pamakv

@@ -44,6 +44,16 @@ struct SimResult {
   std::vector<WindowSample> windows;
 };
 
+/// Reduces per-shard window series into one aggregate series. Window w of
+/// the result combines window w of every shard that reached it: counters
+/// (evictions, migrations, class_slabs, ...) are summed, ratio metrics
+/// (hit_ratio, avg_service_time_us) are weighted by each shard's GETs in
+/// that window, and gets_total sums every shard's cumulative GETs (shards
+/// that finished earlier contribute their final total). The result is as
+/// long as the longest shard series.
+[[nodiscard]] std::vector<WindowSample> MergeWindows(
+    const std::vector<SimResult>& shards);
+
 /// Writes a SimResult's window series as CSV:
 /// scheme,workload,cache_mb,window,gets,hit_ratio,avg_service_us,...
 void WriteWindowCsv(std::ostream& out, const SimResult& result,

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "pamakv/util/types.hpp"
 
@@ -39,6 +41,44 @@ class TraceSource {
 
   /// Total requests per pass, or 0 when unknown.
   [[nodiscard]] virtual std::uint64_t TotalRequests() const noexcept { return 0; }
+};
+
+/// In-memory trace over a pre-materialized request vector. Benchmarks replay
+/// through it so generation cost stays out of the timed region; tests use it
+/// to replay hand-built or filtered request sequences.
+class VectorTrace final : public TraceSource {
+ public:
+  VectorTrace() = default;
+  explicit VectorTrace(std::vector<Request> requests)
+      : requests_(std::move(requests)) {}
+
+  /// Drains `source` into memory (one pass; `source` is left exhausted).
+  static VectorTrace Materialize(TraceSource& source) {
+    std::vector<Request> all;
+    all.reserve(static_cast<std::size_t>(source.TotalRequests()));
+    Request r;
+    while (source.Next(r)) all.push_back(r);
+    return VectorTrace(std::move(all));
+  }
+
+  bool Next(Request& out) override {
+    if (next_ >= requests_.size()) return false;
+    out = requests_[next_++];
+    return true;
+  }
+  void Reset() override { next_ = 0; }
+  [[nodiscard]] std::uint64_t TotalRequests() const noexcept override {
+    return requests_.size();
+  }
+
+  [[nodiscard]] const std::vector<Request>& requests() const noexcept {
+    return requests_;
+  }
+  std::vector<Request>& requests() noexcept { return requests_; }
+
+ private:
+  std::vector<Request> requests_;
+  std::size_t next_ = 0;
 };
 
 }  // namespace pamakv

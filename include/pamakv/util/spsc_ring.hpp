@@ -1,0 +1,118 @@
+// SpscRing: bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The parallel simulator moves request batches from one producer thread to
+// one worker per shard; each (producer, worker) pair gets its own ring, so
+// the SPSC restriction — exactly one thread calls the producer side, exactly
+// one the consumer side — holds by construction and no CAS loops or mutexes
+// are needed. Head and tail are plain atomics with acquire/release pairing
+// (Lamport's classic queue); each side additionally caches the other's index
+// so the common case touches no shared cache line at all.
+//
+// Capacity is rounded up to a power of two. One slot is kept empty to
+// distinguish full from empty, so a ring constructed with capacity C holds
+// up to RoundUpPow2(C) - 1 elements.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pamakv {
+
+// 64 covers x86-64 and most AArch64 parts; a fixed value keeps the layout
+// ABI-stable (std::hardware_destructive_interference_size warns that it
+// varies with tuning flags).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const std::size_t tail = tail_.index.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == tail_.cached_other) {
+      tail_.cached_other = head_.index.load(std::memory_order_acquire);
+      if (next == tail_.cached_other) return false;
+    }
+    slots_[tail] = std::move(value);
+    tail_.index.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: spins (with yields) until the value is accepted.
+  void Push(T&& value) {
+    while (!TryPush(std::move(value))) std::this_thread::yield();
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T& out) {
+    const std::size_t head = head_.index.load(std::memory_order_relaxed);
+    if (head == head_.cached_other) {
+      head_.cached_other = tail_.index.load(std::memory_order_acquire);
+      if (head == head_.cached_other) return false;
+    }
+    out = std::move(slots_[head]);
+    head_.index.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: blocks (spinning with yields) until an element arrives
+  /// or the producer has closed the ring and it drained. Returns false only
+  /// in the closed-and-empty case.
+  bool PopBlocking(T& out) {
+    for (;;) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: elements pushed before Close() must still drain.
+        return TryPop(out);
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Producer side: signals end-of-stream. Elements already pushed remain
+  /// poppable.
+  void Close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot; exact only when called from one of the two owning threads.
+  [[nodiscard]] std::size_t SizeApprox() const noexcept {
+    const std::size_t tail = tail_.index.load(std::memory_order_acquire);
+    const std::size_t head = head_.index.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
+
+ private:
+  // Each side's own index plus its cached copy of the other side's index,
+  // padded so producer and consumer never share a cache line.
+  struct alignas(kCacheLineBytes) Side {
+    std::atomic<std::size_t> index{0};
+    std::size_t cached_other = 0;
+  };
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  Side head_;  // consumer
+  Side tail_;  // producer
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace pamakv

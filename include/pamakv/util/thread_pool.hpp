@@ -10,6 +10,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -25,6 +26,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; the returned future yields the task's result.
+  /// Throws std::runtime_error after Shutdown() — a task accepted then
+  /// would silently never run and its future would block forever.
   template <typename F>
   [[nodiscard]] auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -32,11 +35,18 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       const std::lock_guard lock(mutex_);
+      if (stop_) {
+        throw std::runtime_error("ThreadPool: Submit after shutdown");
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return future;
   }
+
+  /// Drains already-queued tasks, joins the workers and rejects further
+  /// Submits. Idempotent; the destructor calls it.
+  void Shutdown();
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
@@ -51,6 +61,9 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and blocks until all finish.
+/// If any invocation throws, the first exception (in index order) is
+/// re-thrown here — but only after every task has completed, so `fn` and any
+/// state it captures are guaranteed dead before the caller unwinds.
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 

@@ -13,10 +13,15 @@ BloomFilter::BloomFilter(std::size_t expected_items, double false_positive_rate)
   const double ln2 = std::log(2.0);
   const double bits = -static_cast<double>(expected_items) *
                       std::log(false_positive_rate) / (ln2 * ln2);
-  bit_count_ = std::max<std::size_t>(64, static_cast<std::size_t>(bits));
-  // Round up to a whole number of 64-bit words.
-  bit_count_ = (bit_count_ + 63) / 64 * 64;
-  const double k = bits / static_cast<double>(expected_items) * ln2;
+  // Round up to a power of two so probes reduce with a mask instead of a
+  // 64-bit modulo (a ~20-cycle divide per probe on the hot path). The extra
+  // bits only lower the false-positive rate; k is derived from the actual
+  // bit count so it stays optimal for the rounded size.
+  bit_count_ = 64;
+  while (static_cast<double>(bit_count_) < bits) bit_count_ <<= 1;
+  bit_mask_ = bit_count_ - 1;
+  const double k = static_cast<double>(bit_count_) /
+                   static_cast<double>(expected_items) * ln2;
   hash_count_ = std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(k)), 1, 16);
   words_.assign(bit_count_ / 64, 0);
 }
@@ -31,8 +36,9 @@ BloomFilter::HashPair BloomFilter::HashKey(KeyId key) noexcept {
 
 void BloomFilter::Add(KeyId key) noexcept {
   const auto [h1, h2] = HashKey(key);
-  for (std::size_t i = 0; i < hash_count_; ++i) {
-    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+  std::uint64_t h = h1;
+  for (std::size_t i = 0; i < hash_count_; ++i, h += h2) {
+    const std::uint64_t bit = h & bit_mask_;
     words_[bit >> 6] |= 1ULL << (bit & 63);
   }
   ++added_;
@@ -40,8 +46,9 @@ void BloomFilter::Add(KeyId key) noexcept {
 
 bool BloomFilter::MayContain(KeyId key) const noexcept {
   const auto [h1, h2] = HashKey(key);
-  for (std::size_t i = 0; i < hash_count_; ++i) {
-    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+  std::uint64_t h = h1;
+  for (std::size_t i = 0; i < hash_count_; ++i, h += h2) {
+    const std::uint64_t bit = h & bit_mask_;
     if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
   }
   return true;

@@ -1,5 +1,6 @@
 #include "pamakv/cache/cache_engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -47,6 +48,20 @@ CacheEngine::CacheEngine(const EngineConfig& config,
       policy_(std::move(policy)),
       hit_time_us_(config.hit_time_us) {
   assert(policy_ != nullptr);
+  // Pre-size the index for the slot budget the pool could actually serve
+  // (slabs spread evenly across classes) so warmup doesn't rehash-storm.
+  // Capped: a cache whose slabs all end up in the smallest class can still
+  // trigger a handful of late rehashes, which is the right trade against
+  // reserving the worst case up front.
+  std::size_t slot_estimate = 0;
+  if (classes_.num_classes() > 0) {
+    const std::size_t slabs_per_class =
+        std::max<std::size_t>(1, pool_.total_slabs() / classes_.num_classes());
+    for (ClassId c = 0; c < classes_.num_classes(); ++c) {
+      slot_estimate += slabs_per_class * classes_.SlotsPerSlab(c);
+    }
+  }
+  index_.Reserve(std::min<std::size_t>(slot_estimate, 1u << 22));
   policy_->Attach(*this);
 }
 

@@ -16,14 +16,22 @@ HashIndex::HashIndex(std::size_t initial_capacity) {
   mask_ = cap - 1;
 }
 
-void HashIndex::Grow() {
+void HashIndex::Grow() { Rehash(slots_.size() * 2); }
+
+void HashIndex::Rehash(std::size_t new_capacity) {
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  slots_.assign(new_capacity, Slot{});
   mask_ = slots_.size() - 1;
   size_ = 0;
   for (const Slot& s : old) {
     if (s.handle != kInvalidHandle) Upsert(s.key, s.handle);
   }
+}
+
+void HashIndex::Reserve(std::size_t expected_keys) {
+  // Same threshold as the insert path: keep load below 0.7.
+  const std::size_t needed = RoundUpPow2(expected_keys * 10 / 7 + 1);
+  if (needed > slots_.size()) Rehash(needed);
 }
 
 void HashIndex::Upsert(KeyId key, ItemHandle handle) {
@@ -47,6 +55,11 @@ void HashIndex::Upsert(KeyId key, ItemHandle handle) {
 
 ItemHandle HashIndex::Find(KeyId key) const noexcept {
   std::size_t pos = IdealSlot(key);
+  PrefetchSlot(pos);
+  // Speculatively pull the following line too: clusters longer than one
+  // cache line are rare below the 0.7 load ceiling, so this hides the
+  // second miss on the occasional long probe without polluting much.
+  PrefetchSlot((pos + kSlotsPerCacheLine) & mask_);
   std::size_t distance = 0;
   for (;;) {
     const Slot& s = slots_[pos];

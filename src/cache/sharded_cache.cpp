@@ -22,20 +22,7 @@ ShardedCache::ShardedCache(std::size_t shards, Bytes capacity_bytes,
 
 CacheStats ShardedCache::TotalStats() const {
   CacheStats total;
-  for (const auto& shard : shards_) {
-    const CacheStats& s = shard->stats();
-    total.gets += s.gets;
-    total.get_hits += s.get_hits;
-    total.get_misses += s.get_misses;
-    total.sets += s.sets;
-    total.set_updates += s.set_updates;
-    total.set_failures += s.set_failures;
-    total.dels += s.dels;
-    total.evictions += s.evictions;
-    total.slab_migrations += s.slab_migrations;
-    total.ghost_hits += s.ghost_hits;
-    total.miss_penalty_total_us += s.miss_penalty_total_us;
-  }
+  for (const auto& shard : shards_) total += shard->stats();
   return total;
 }
 

@@ -18,4 +18,19 @@ CacheStats CacheStats::Since(const CacheStats& earlier) const noexcept {
   return d;
 }
 
+CacheStats& CacheStats::operator+=(const CacheStats& other) noexcept {
+  gets += other.gets;
+  get_hits += other.get_hits;
+  get_misses += other.get_misses;
+  sets += other.sets;
+  set_updates += other.set_updates;
+  set_failures += other.set_failures;
+  dels += other.dels;
+  evictions += other.evictions;
+  slab_migrations += other.slab_migrations;
+  ghost_hits += other.ghost_hits;
+  miss_penalty_total_us += other.miss_penalty_total_us;
+  return *this;
+}
+
 }  // namespace pamakv

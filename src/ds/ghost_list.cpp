@@ -5,11 +5,74 @@
 
 namespace pamakv {
 
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) noexcept {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 GhostList::GhostList(std::size_t capacity)
     : entries_(capacity ? capacity : 1), live_counts_(capacity ? capacity : 1) {
   if (capacity == 0) {
     throw std::invalid_argument("GhostList: capacity must be > 0");
   }
+  // At most `capacity` keys are ever live, so 2x slots keeps the load factor
+  // at or below 0.5 forever — the table is allocated once and never grows.
+  map_slots_.assign(RoundUpPow2(capacity * 2), MapSlot{});
+  map_mask_ = map_slots_.size() - 1;
+}
+
+const GhostList::MapSlot* GhostList::MapFind(KeyId key) const noexcept {
+  std::size_t pos = MapIdeal(key);
+  for (;;) {
+    const MapSlot& s = map_slots_[pos];
+    if (s.seq == kNoSeq) return nullptr;
+    if (s.key == key) return &s;
+    pos = (pos + 1) & map_mask_;
+  }
+}
+
+void GhostList::MapUpsert(KeyId key, std::uint64_t seq) noexcept {
+  assert(map_size_ < map_slots_.size());
+  std::size_t pos = MapIdeal(key);
+  for (;;) {
+    MapSlot& s = map_slots_[pos];
+    if (s.seq == kNoSeq) {
+      s = MapSlot{key, seq};
+      ++map_size_;
+      return;
+    }
+    if (s.key == key) {
+      s.seq = seq;
+      return;
+    }
+    pos = (pos + 1) & map_mask_;
+  }
+}
+
+void GhostList::MapEraseSlot(MapSlot* slot) noexcept {
+  // Backward-shift deletion (same algorithm as HashIndex::Erase): any
+  // cluster entry whose ideal slot does not lie in the cyclic range
+  // (hole, entry] would become unreachable through the hole, so it moves in.
+  std::size_t hole = static_cast<std::size_t>(slot - map_slots_.data());
+  map_slots_[hole] = MapSlot{};
+  std::size_t probe = hole;
+  for (;;) {
+    probe = (probe + 1) & map_mask_;
+    MapSlot& s = map_slots_[probe];
+    if (s.seq == kNoSeq) break;
+    const std::size_t ideal = MapIdeal(s.key);
+    if (((probe - ideal) & map_mask_) >= ((probe - hole) & map_mask_)) {
+      map_slots_[hole] = s;
+      s = MapSlot{};
+      hole = probe;
+    }
+  }
+  --map_size_;
 }
 
 void GhostList::Expire(std::size_t slot) {
@@ -17,10 +80,10 @@ void GhostList::Expire(std::size_t slot) {
   if (!e.live) return;
   e.live = false;
   live_counts_.Add(slot, -1);
-  const auto it = map_.find(e.key);
+  MapSlot* found = MapFind(e.key);
   // Only erase if the map still points at this entry (it may have been
   // superseded by a newer ghost entry for the same key).
-  if (it != map_.end() && it->second == e.seq) map_.erase(it);
+  if (found != nullptr && found->seq == e.seq) MapEraseSlot(found);
 }
 
 void GhostList::Push(KeyId key, MicroSecs penalty) {
@@ -32,7 +95,7 @@ void GhostList::Push(KeyId key, MicroSecs penalty) {
   Expire(slot);
   entries_[slot] = Entry{key, penalty, seq, true};
   live_counts_.Add(slot, +1);
-  map_[key] = seq;
+  MapUpsert(key, seq);
 }
 
 std::size_t GhostList::LiveNewerThan(std::uint64_t seq) const {
@@ -54,22 +117,22 @@ std::size_t GhostList::LiveNewerThan(std::uint64_t seq) const {
 }
 
 std::optional<GhostList::Hit> GhostList::Lookup(KeyId key) const {
-  const auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
-  const Entry& e = entries_[SlotOf(it->second)];
+  const MapSlot* found = MapFind(key);
+  if (found == nullptr) return std::nullopt;
+  const Entry& e = entries_[SlotOf(found->seq)];
   assert(e.live && e.key == key);
   return Hit{e.penalty, LiveNewerThan(e.seq)};
 }
 
 bool GhostList::Remove(KeyId key) {
-  const auto it = map_.find(key);
-  if (it == map_.end()) return false;
-  const std::size_t slot = SlotOf(it->second);
+  MapSlot* found = MapFind(key);
+  if (found == nullptr) return false;
+  const std::size_t slot = SlotOf(found->seq);
   Entry& e = entries_[slot];
   assert(e.live && e.key == key);
   e.live = false;
   live_counts_.Add(slot, -1);
-  map_.erase(it);
+  MapEraseSlot(found);
   return true;
 }
 

@@ -14,13 +14,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     const std::lock_guard lock(mutex_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -47,7 +51,18 @@ void ParallelFor(ThreadPool& pool, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.Submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every task before letting any exception unwind: tasks capture
+  // `fn` by reference, so re-throwing while later tasks still run would
+  // leave them touching a dead function object.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace pamakv

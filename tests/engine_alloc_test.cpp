@@ -1,0 +1,87 @@
+// Verifies the engine's steady-state hot path is allocation-free: once the
+// cache has warmed up (item table, LRU node pools, ghost tables and hash
+// index at their structural maxima), Get/Set/eviction cycles must not touch
+// the heap. Guards against regressions like the node-allocating
+// std::unordered_map the ghost lists used to carry.
+//
+// The global operator new/delete overrides below count every allocation in
+// this test binary; they forward to malloc, so behavior is unchanged.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "pamakv/sim/experiment.hpp"
+#include "pamakv/util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pamakv {
+namespace {
+
+/// Drives `n` GET(+write-allocate SET) requests over a fixed key space whose
+/// demand exceeds the cache, so hits, misses, evictions and ghost churn all
+/// occur. Sizes and penalties are pure functions of the key.
+void Drive(CacheEngine& engine, Rng& rng, std::uint64_t n) {
+  constexpr KeyId kKeySpace = 20'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const KeyId key = rng.NextBounded(kKeySpace);
+    const Bytes size = 64 + (Mix64(key) & 1023);
+    const auto r = engine.Get(key, size, 1'000);
+    if (!r.hit) engine.Set(key, size, 1'000);
+  }
+}
+
+TEST(EngineAllocationTest, SteadyStateGetSetIsAllocationFree) {
+  auto engine = MakeEngine("memcached", 8ULL * 1024 * 1024, SizeClassConfig{});
+  Rng rng(7);
+  // Warm until every pool reaches its structural maximum: the key space
+  // oversubscribes the cache, so all classes saturate and the free lists,
+  // node pools and index stop growing.
+  Drive(*engine, rng, 400'000);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  Drive(*engine, rng, 100'000);
+  const std::uint64_t during =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(during, 0u)
+      << "steady-state Get/Set allocated " << during << " times";
+}
+
+TEST(EngineAllocationTest, PamaAllocatesPerWindowNotPerRequest) {
+  // PAMA rebuilds per-segment Bloom filters at window boundaries — that is
+  // allowed. What must not happen is allocation scaling with requests.
+  auto engine = MakeEngine("pama", 8ULL * 1024 * 1024, SizeClassConfig{});
+  Rng rng(11);
+  Drive(*engine, rng, 400'000);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  constexpr std::uint64_t kRequests = 100'000;
+  Drive(*engine, rng, kRequests);
+  const std::uint64_t during =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_LT(during, kRequests / 100)
+      << "PAMA hot path allocated " << during << " times in " << kRequests
+      << " requests";
+}
+
+}  // namespace
+}  // namespace pamakv

@@ -82,6 +82,80 @@ TEST(HashIndexTest, BackwardShiftPreservesNeighbors) {
   }
 }
 
+/// First `count` keys whose ideal slot in a table of `capacity` is `slot`.
+std::vector<KeyId> KeysHashingTo(std::size_t slot, std::size_t capacity,
+                                 std::size_t count) {
+  std::vector<KeyId> keys;
+  const std::size_t mask = capacity - 1;
+  for (KeyId k = 0; keys.size() < count; ++k) {
+    if ((static_cast<std::size_t>(Mix64(k)) & mask) == slot) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(HashIndexTest, EraseBackwardShiftAcrossTableWrapAround) {
+  // Regression guard for the wrap-around case of backward-shift deletion:
+  // a probe cluster that starts at the last slot and continues at slot 0.
+  // Four keys all hashing to slot 15 of a 16-slot table occupy 15, 0, 1, 2;
+  // erasing the one at slot 15 must shift the displaced tail across the
+  // boundary, keeping every survivor reachable.
+  constexpr std::size_t kCapacity = 16;
+  const auto keys = KeysHashingTo(kCapacity - 1, kCapacity, 4);
+  HashIndex idx(kCapacity);
+  ASSERT_EQ(idx.capacity(), kCapacity);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    idx.Upsert(keys[i], static_cast<ItemHandle>(i + 1));
+  }
+  // Erase in insertion order: each erase collapses the cluster across the
+  // wrap boundary; all remaining keys must stay findable.
+  for (std::size_t dead = 0; dead < keys.size(); ++dead) {
+    ASSERT_TRUE(idx.Erase(keys[dead])) << "erase " << dead;
+    for (std::size_t alive = dead + 1; alive < keys.size(); ++alive) {
+      ASSERT_EQ(idx.Find(keys[alive]), static_cast<ItemHandle>(alive + 1))
+          << "erase " << dead << " lost key " << alive;
+    }
+    ASSERT_EQ(idx.Find(keys[dead]), kInvalidHandle);
+  }
+}
+
+TEST(HashIndexTest, EraseWrapAroundMixedIdealSlots) {
+  // A cluster spanning the end with mixed home slots: entries whose ideal
+  // slot is on the far side of the wrapped hole must NOT be moved.
+  constexpr std::size_t kCapacity = 16;
+  const auto tail_keys = KeysHashingTo(kCapacity - 1, kCapacity, 2);  // 15,0
+  const auto head_keys = KeysHashingTo(0, kCapacity, 2);             // 1,2
+  HashIndex idx(kCapacity);
+  idx.Upsert(tail_keys[0], 10);
+  idx.Upsert(tail_keys[1], 11);  // displaced to slot 0
+  idx.Upsert(head_keys[0], 20);  // home 0, displaced to 1
+  idx.Upsert(head_keys[1], 21);  // home 0, displaced to 2
+  ASSERT_TRUE(idx.Erase(tail_keys[0]));  // hole at 15
+  EXPECT_EQ(idx.Find(tail_keys[1]), 11u);
+  EXPECT_EQ(idx.Find(head_keys[0]), 20u);
+  EXPECT_EQ(idx.Find(head_keys[1]), 21u);
+  ASSERT_TRUE(idx.Erase(head_keys[0]));
+  EXPECT_EQ(idx.Find(tail_keys[1]), 11u);
+  EXPECT_EQ(idx.Find(head_keys[1]), 21u);
+}
+
+TEST(HashIndexTest, ReserveAvoidsRehashAndPreservesEntries) {
+  HashIndex idx(16);
+  for (KeyId k = 0; k < 10; ++k) idx.Upsert(k, static_cast<ItemHandle>(k + 1));
+  idx.Reserve(50'000);
+  const std::size_t reserved = idx.capacity();
+  EXPECT_GE(reserved, 50'000u);
+  for (KeyId k = 0; k < 10; ++k) {
+    ASSERT_EQ(idx.Find(k), static_cast<ItemHandle>(k + 1));
+  }
+  for (KeyId k = 10; k < 50'000; ++k) {
+    idx.Upsert(k, static_cast<ItemHandle>(k + 1));
+  }
+  EXPECT_EQ(idx.capacity(), reserved) << "Reserve did not prevent rehashing";
+  // Reserve never shrinks.
+  idx.Reserve(16);
+  EXPECT_EQ(idx.capacity(), reserved);
+}
+
 TEST(HashIndexTest, AgreesWithUnorderedMapUnderChurn) {
   HashIndex idx(16);
   std::unordered_map<KeyId, ItemHandle> model;

@@ -64,6 +64,56 @@ TEST(ShardedCacheTest, TotalStatsAggregate) {
   EXPECT_EQ(total.miss_penalty_total_us, 100'000u);
 }
 
+TEST(ShardedCacheTest, TotalStatsCoversEveryCounter) {
+  // Drive a mixed workload and verify TotalStats equals the field-by-field
+  // sum over shards for every counter, not just the GET family.
+  ShardedCache cache(4, 16ULL * 1024 * 1024, PamaFactory());
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const KeyId key = rng.NextBounded(800);
+    const Bytes size = 64 + (Mix64(key) & 255);
+    switch (rng.NextBounded(10)) {
+      case 0:
+        cache.Del(key);
+        break;
+      case 1:
+      case 2:
+        cache.Set(key, size, 2'000);
+        break;
+      default:
+        if (!cache.Get(key, size, 2'000).hit) cache.Set(key, size, 2'000);
+        break;
+    }
+  }
+  CacheStats manual;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    manual += cache.shard(s).stats();
+  }
+  const CacheStats total = cache.TotalStats();
+  EXPECT_EQ(total.gets, manual.gets);
+  EXPECT_EQ(total.get_hits, manual.get_hits);
+  EXPECT_EQ(total.get_misses, manual.get_misses);
+  EXPECT_EQ(total.sets, manual.sets);
+  EXPECT_EQ(total.set_updates, manual.set_updates);
+  EXPECT_EQ(total.set_failures, manual.set_failures);
+  EXPECT_EQ(total.dels, manual.dels);
+  EXPECT_EQ(total.evictions, manual.evictions);
+  EXPECT_EQ(total.slab_migrations, manual.slab_migrations);
+  EXPECT_EQ(total.ghost_hits, manual.ghost_hits);
+  EXPECT_EQ(total.miss_penalty_total_us, manual.miss_penalty_total_us);
+  // Sanity: the mixed op stream exercised the non-GET counters at all.
+  EXPECT_GT(total.sets, 0u);
+  EXPECT_GT(total.dels, 0u);
+  EXPECT_EQ(total.gets, total.get_hits + total.get_misses);
+}
+
+TEST(ShardedCacheTest, StaticRoutingMatchesInstanceRouting) {
+  ShardedCache cache(8, 32ULL * 1024 * 1024, PamaFactory());
+  for (KeyId k = 0; k < 1000; ++k) {
+    EXPECT_EQ(cache.ShardIndexFor(k), ShardedCache::ShardIndexFor(k, 8));
+  }
+}
+
 TEST(ShardedCacheTest, ShardedPamaStillBeatsShardedFrozenAllocation) {
   // The paper's per-server scheme survives partitioning: with the same
   // total memory, sharded PAMA keeps its service-time edge over sharded

@@ -1,0 +1,100 @@
+#include "pamakv/util/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pamakv {
+namespace {
+
+TEST(SpscRingTest, PushPopPreservesFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(std::move(v)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out;
+  EXPECT_FALSE(ring.TryPop(out));
+}
+
+TEST(SpscRingTest, CapacityIsRoundedUpAndHonored) {
+  SpscRing<int> ring(5);  // rounds to 8 slots => holds 7
+  EXPECT_GE(ring.capacity(), 5u);
+  std::size_t pushed = 0;
+  for (int i = 0; i < 100; ++i) {
+    int v = i;
+    if (!ring.TryPush(std::move(v))) break;
+    ++pushed;
+  }
+  EXPECT_EQ(pushed, ring.capacity());
+  int out;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 0);
+  int v = 100;
+  EXPECT_TRUE(ring.TryPush(std::move(v)));  // slot freed by the pop
+}
+
+TEST(SpscRingTest, PopBlockingDrainsAfterClose) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ring.Push(std::move(v));
+  }
+  ring.Close();
+  int out = -1;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.PopBlocking(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.PopBlocking(out));  // closed and empty: no block
+}
+
+TEST(SpscRingTest, MovesVectorsWithoutCopy) {
+  SpscRing<std::vector<int>> ring(4);
+  std::vector<int> batch = {1, 2, 3};
+  const int* data = batch.data();
+  ring.Push(std::move(batch));
+  std::vector<int> out;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out.data(), data);  // same buffer: moved end to end
+}
+
+TEST(SpscRingTest, TwoThreadStreamIsLossless) {
+  // One producer, one consumer, ring much smaller than the stream so both
+  // full and empty transitions are exercised continuously.
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(16);
+  std::uint64_t sum = 0;
+  std::uint64_t received = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    std::uint64_t v;
+    std::uint64_t expected = 0;
+    while (ring.PopBlocking(v)) {
+      ordered = ordered && v == expected;
+      ++expected;
+      sum += v;
+      ++received;
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    std::uint64_t v = i;
+    ring.Push(std::move(v));
+  }
+  ring.Close();
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(received, kCount);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace pamakv

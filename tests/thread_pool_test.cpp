@@ -48,6 +48,27 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  pool.Shutdown();
+  EXPECT_THROW((void)pool.Submit([] { return 2; }), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  EXPECT_EQ(counter.load(), 64);
+  for (auto& f : futures) f.get();  // all futures are ready, none dangles
+}
+
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(100);
@@ -58,6 +79,31 @@ TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
 TEST(ParallelForTest, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   ParallelFor(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, ExceptionSurfacesAfterAllTasksFinish) {
+  // A throwing task must propagate to the caller — but only after every
+  // other task has run, since tasks capture the callable by reference.
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  auto body = [&ran](std::size_t i) {
+    ++ran;
+    if (i == 5) throw std::runtime_error("task 5 failed");
+  };
+  EXPECT_THROW(ParallelFor(pool, 20, body), std::runtime_error);
+  // No task was abandoned: the callable stayed alive until all completed.
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ParallelForTest, MultipleFailuresStillReportOne) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto body = [&ran](std::size_t) {
+    ++ran;
+    throw std::runtime_error("every task fails");
+  };
+  EXPECT_THROW(ParallelFor(pool, 8, body), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace
