@@ -1,0 +1,297 @@
+// loadgen: closed-loop memcached-protocol load generator for pamakv-server.
+//
+// N worker threads, one blocking connection each, drive a Zipf key stream:
+// every op is a GET; a miss is followed by a SET of the same key
+// (write-allocate, matching the simulator's discipline), and --set-ratio
+// adds blind writes. Sizes and penalties are pure functions of the key
+// (the penalty rides the flags field), so PAMA's bands see a stable
+// penalty distribution. Per-op latency is sampled with the steady clock;
+// results go to BENCH_server.json + results/bench_server.csv at the repo
+// root, in the BENCH_throughput.json style (machine-readable trajectory
+// for subsequent PRs).
+//
+// The server is external by design (measure real sockets, not an
+// in-process shortcut):
+//   build/server/pamakv-server --policy=pama --port=11311 &
+//   build/bench/loadgen --port=11311 --connections=1,4 --ops=200000
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pamakv/net/client.hpp"
+#include "pamakv/util/types.hpp"
+#include "pamakv/util/arg_parser.hpp"
+#include "pamakv/util/histogram.hpp"
+#include "pamakv/util/rng.hpp"
+#include "pamakv/util/zipf.hpp"
+
+namespace pamakv::bench {
+namespace {
+
+struct RunResult {
+  std::size_t connections = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t sets = 0;
+  double wall_seconds = 0.0;
+  double kops = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double hit_ratio = 0.0;
+};
+
+struct WorkerConfig {
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint64_t warmup_ops = 0;
+  std::uint64_t measured_ops = 0;
+  std::uint64_t key_space = 0;
+  double set_ratio = 0.0;
+};
+
+/// Size (bytes) and penalty (µs, carried via flags) as pure functions of
+/// the key, spanning several size classes and all five penalty bands.
+Bytes SizeOf(std::uint64_t key) { return 64 + (Mix64(key) & 2047); }
+std::uint32_t PenaltyOf(std::uint64_t key) {
+  // Log-uniform-ish over [500µs, ~4.6s]: covers every paper band.
+  const std::uint64_t h = Mix64(key ^ 0x9e3779b97f4a7c15ULL);
+  const double unit = static_cast<double>(h >> 11) / 9007199254740992.0;
+  return static_cast<std::uint32_t>(500.0 * std::pow(9210.0, unit));
+}
+
+void MakeValue(std::string& value, std::uint64_t key) {
+  value.assign(SizeOf(key), static_cast<char>('a' + (key % 26)));
+}
+
+void Worker(const WorkerConfig& cfg, const ZipfSampler& zipf,
+            std::uint64_t seed, std::vector<double>& latencies_us,
+            RunResult& out) {
+  net::BlockingClient client;
+  client.Connect(cfg.host, cfg.port);
+  Rng rng(seed);
+  std::string key, value, fetched;
+  latencies_us.reserve(cfg.measured_ops);
+
+  const auto run_ops = [&](std::uint64_t n, bool measure) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t k = zipf.Sample(rng);
+      key.assign("key:");
+      key.append(std::to_string(k));
+      const bool blind_set = rng.NextDouble() < cfg.set_ratio;
+      const auto start = std::chrono::steady_clock::now();
+      if (blind_set) {
+        MakeValue(value, k);
+        client.Set(key, PenaltyOf(k), value);
+        if (measure) ++out.sets;
+      } else {
+        if (measure) ++out.gets;
+        const bool hit = client.Get(key, fetched);
+        if (hit) {
+          if (measure) ++out.get_hits;
+        } else {
+          // Write-allocate: a miss is immediately followed by a SET of
+          // the same key, as the paper assumes.
+          MakeValue(value, k);
+          client.Set(key, PenaltyOf(k), value);
+          if (measure) ++out.sets;
+        }
+      }
+      if (measure) {
+        const auto end = std::chrono::steady_clock::now();
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(end - start).count());
+        ++out.ops;
+      }
+    }
+  };
+  run_ops(cfg.warmup_ops, false);
+  run_ops(cfg.measured_ops, true);
+}
+
+RunResult Measure(const WorkerConfig& base, std::size_t connections,
+                  const ZipfSampler& zipf, std::uint64_t total_ops) {
+  WorkerConfig cfg = base;
+  cfg.measured_ops = total_ops / connections;
+  cfg.warmup_ops = base.warmup_ops / connections;
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<RunResult> partial(connections);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back(Worker, cfg, std::cref(zipf), 1000 + 7 * c,
+                         std::ref(latencies[c]), std::ref(partial[c]));
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.connections = connections;
+  std::vector<double> all;
+  for (std::size_t c = 0; c < connections; ++c) {
+    result.ops += partial[c].ops;
+    result.gets += partial[c].gets;
+    result.get_hits += partial[c].get_hits;
+    result.sets += partial[c].sets;
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.kops = static_cast<double>(result.ops) / result.wall_seconds / 1e3;
+  result.hit_ratio = result.gets > 0
+                         ? static_cast<double>(result.get_hits) /
+                               static_cast<double>(result.gets)
+                         : 0.0;
+  if (!all.empty()) {
+    result.max_us = *std::max_element(all.begin(), all.end());
+    result.p50_us = ExactQuantile(all, 0.5);
+    result.p99_us = ExactQuantile(std::move(all), 0.99);
+  }
+  return result;
+}
+
+void WriteCsv(std::ostream& out, const std::vector<RunResult>& rows) {
+  out << "connections,ops,wall_seconds,kops,p50_us,p99_us,max_us,"
+         "hit_ratio,sets\n";
+  for (const auto& r : rows) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%zu,%llu,%.4f,%.2f,%.1f,%.1f,%.1f,%.4f,%llu\n",
+                  r.connections, static_cast<unsigned long long>(r.ops),
+                  r.wall_seconds, r.kops, r.p50_us, r.p99_us, r.max_us,
+                  r.hit_ratio, static_cast<unsigned long long>(r.sets));
+    out << line;
+  }
+}
+
+void WriteJson(std::ostream& out, const std::string& host, std::uint16_t port,
+               std::uint64_t keys, double alpha,
+               const std::vector<RunResult>& rows) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"loadgen\",\n"
+                "  \"target\": \"%s:%u\",\n"
+                "  \"key_space\": %llu,\n"
+                "  \"zipf_alpha\": %.3f,\n"
+                "  \"hardware_threads\": %u,\n"
+                "  \"runs\": [\n",
+                host.c_str(), port, static_cast<unsigned long long>(keys),
+                alpha, std::thread::hardware_concurrency());
+  out << buf;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"connections\": %zu, \"ops\": %llu, "
+                  "\"wall_seconds\": %.4f, \"kops\": %.2f, "
+                  "\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, "
+                  "\"hit_ratio\": %.4f}%s\n",
+                  r.connections, static_cast<unsigned long long>(r.ops),
+                  r.wall_seconds, r.kops, r.p50_us, r.p99_us, r.max_us,
+                  r.hit_ratio, i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+std::vector<std::size_t> ParseConnectionsList(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const long v = std::stol(tok);
+    if (v <= 0) throw std::runtime_error("--connections: must be positive");
+    out.push_back(static_cast<std::size_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::runtime_error("--connections: empty list");
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  args.Describe("host", "server address (default 127.0.0.1)")
+      .Describe("port", "server port (default 11211)")
+      .Describe("connections", "comma list of connection counts, e.g. 1,4")
+      .Describe("ops", "measured ops per run, split across connections")
+      .Describe("warmup-ops", "unmeasured warmup ops per run")
+      .Describe("keys", "distinct keys (default 100000)")
+      .Describe("alpha", "Zipf skew (default 1.0)")
+      .Describe("set-ratio", "fraction of blind SETs (default 0.1)")
+      .Describe("out-root", "directory for BENCH_server.json + results/");
+  if (args.HelpRequested()) {
+    args.PrintHelp(std::cout, "loadgen",
+                   "closed-loop memcached-protocol load generator");
+    return 0;
+  }
+
+  const double scale = BenchScaleFromEnv(0.5);
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetInt("port", 11211));
+  const auto conn_list =
+      ParseConnectionsList(args.GetString("connections", "1,4"));
+  const auto ops = static_cast<std::uint64_t>(static_cast<double>(args.GetInt(
+                       "ops", 200'000)) * scale);
+  const auto warmup =
+      static_cast<std::uint64_t>(args.GetInt("warmup-ops", 50'000));
+  const auto keys = static_cast<std::uint64_t>(args.GetInt("keys", 100'000));
+  const double alpha = args.GetDouble("alpha", 1.0);
+  const double set_ratio = args.GetDouble("set-ratio", 0.1);
+  const std::string root = args.GetString("out-root", PAMAKV_REPO_ROOT);
+
+  const ZipfSampler zipf(keys, alpha);
+  WorkerConfig base;
+  base.host = host;
+  base.port = port;
+  base.warmup_ops = warmup;
+  base.key_space = keys;
+  base.set_ratio = set_ratio;
+
+  std::vector<RunResult> rows;
+  for (const std::size_t connections : conn_list) {
+    rows.push_back(Measure(base, connections, zipf, ops));
+    const RunResult& r = rows.back();
+    std::fprintf(stderr,
+                 "# conns=%zu %8.1f kops/s p50=%.0fus p99=%.0fus "
+                 "hit=%.3f wall=%.2fs\n",
+                 r.connections, r.kops, r.p50_us, r.p99_us, r.hit_ratio,
+                 r.wall_seconds);
+  }
+
+  const auto json_path = std::filesystem::path(root) / "BENCH_server.json";
+  const auto csv_path =
+      std::filesystem::path(root) / "results" / "bench_server.csv";
+  std::filesystem::create_directories(csv_path.parent_path());
+  std::ofstream json(json_path);
+  WriteJson(json, host, port, keys, alpha, rows);
+  std::ofstream csv(csv_path);
+  WriteCsv(csv, rows);
+  WriteCsv(std::cout, rows);
+  std::fprintf(stderr, "# wrote %s and %s\n", json_path.string().c_str(),
+               csv_path.string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pamakv::bench
+
+int main(int argc, char** argv) {
+  try {
+    return pamakv::bench::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,11 +3,24 @@
 // the per-window hit ratio and average service time series the paper plots.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "pamakv/util/types.hpp"
 
 namespace pamakv {
+
+/// One named counter of a StatsSnapshot. `name` has static storage.
+struct StatEntry {
+  const char* name;
+  std::uint64_t value;
+};
+
+/// Fixed-size list of (name, value) pairs in memcached `stats` spelling;
+/// built by CacheStats::Snapshot(). An array (not a map) so producing a
+/// snapshot never allocates.
+inline constexpr std::size_t kStatsSnapshotEntries = 12;
+using StatsSnapshot = std::array<StatEntry, kStatsSnapshotEntries>;
 
 struct CacheStats {
   std::uint64_t gets = 0;
@@ -23,6 +36,12 @@ struct CacheStats {
   /// Sum of miss penalties charged to GET misses, in microseconds. Average
   /// GET service time = (penalty_total + hits * hit_time) / gets.
   std::uint64_t miss_penalty_total_us = 0;
+  /// Gauge (not a monotonic counter): bytes of item payload currently
+  /// stored, maintained by the engine on insert/overwrite/removal. Under
+  /// Since() it diffs to the net change over the window; under operator+=
+  /// it sums across shards, which is what the server's `stats` command
+  /// reports as memcached's `bytes`.
+  std::uint64_t bytes_stored = 0;
 
   [[nodiscard]] double HitRatio() const noexcept {
     return gets ? static_cast<double>(get_hits) / static_cast<double>(gets) : 0.0;
@@ -42,6 +61,12 @@ struct CacheStats {
 
   /// Component-wise accumulation; used to aggregate per-shard stats.
   CacheStats& operator+=(const CacheStats& other) noexcept;
+
+  /// The counters the server's `stats` command reports, under memcached's
+  /// stat names (cmd_get, get_hits, bytes, evictions, ...); pamakv-only
+  /// counters keep their own names. Snapshot(a += b) equals entry-wise
+  /// Snapshot(a) + Snapshot(b) — the stats_test locks this in.
+  [[nodiscard]] StatsSnapshot Snapshot() const noexcept;
 };
 
 }  // namespace pamakv

@@ -1,0 +1,121 @@
+// CacheService: the server-side bridge from wire requests to CacheEngines.
+//
+// Topology mirrors ShardedCache — N independent single-threaded engines,
+// keys routed by ShardedCache::ShardIndexFor over the string key's 64-bit
+// hash — but adds what a real server needs on top of the simulator's
+// metadata-only engines:
+//
+//  * a per-shard mutex (engines are single-threaded by design; the event
+//    loop threads serialize per shard, different shards proceed in
+//    parallel);
+//  * actual payload bytes. The engine decides *whether* a key is cached;
+//    the shard's entry table holds the value, flags and CAS stamp, plus
+//    the exact key string for collision verification (same discipline as
+//    StringKeyCache: a 64-bit id collision is detected and resolved as a
+//    miss rather than served as a wrong value).
+//
+// Entries are never erased, only marked dead, so steady-state traffic over
+// a stable key population does zero heap allocation: dead entries keep
+// their string capacity and are overwritten in place on the next store,
+// and they remember the key's last size/penalty so a GET miss is routed to
+// the ghost list of the right class/subclass — exactly what value-gated
+// policies (PAMA) need to earn the key space back. Table growth is
+// bounded by the number of distinct keys ever seen, as in StringKeyCache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pamakv/cache/cache_engine.hpp"
+#include "pamakv/cache/sharded_cache.hpp"
+
+namespace pamakv::net {
+
+struct CacheServiceConfig {
+  std::size_t shards = 4;
+  Bytes capacity_bytes = 256ULL * 1024 * 1024;
+  /// Penalty charged to a GET miss for a key the server has never seen
+  /// (known keys reuse their stored penalty).
+  MicroSecs default_penalty_us = 1'000;
+  /// Size used to route a never-seen key's miss to a ghost list.
+  Bytes default_size = 64;
+};
+
+class CacheService {
+ public:
+  using EngineFactory = std::function<std::unique_ptr<CacheEngine>(Bytes)>;
+
+  /// Builds `shards` engines, each given capacity/shards via the factory.
+  CacheService(const CacheServiceConfig& config, const EngineFactory& factory);
+
+  /// GET/GETS one key: on a verified hit appends a "VALUE ..." block to
+  /// `out` (under the shard lock, so value and stats stay consistent) and
+  /// returns true; on a miss appends nothing, charges the engine the
+  /// key's penalty, and returns false.
+  bool Get(std::string_view key, std::vector<char>& out, bool with_cas);
+
+  /// SET: stores value bytes + flags; `flags` is the miss penalty in µs
+  /// (0 => the configured default). False when the engine refused space.
+  bool Set(std::string_view key, std::uint32_t flags, std::string_view value);
+
+  /// DELETE. True if the key was cached.
+  bool Del(std::string_view key);
+
+  /// Deletes every live entry; returns how many were dropped.
+  std::uint64_t FlushAll();
+
+  /// Appends the full "STAT name value\r\n"* + "END\r\n" payload for the
+  /// `stats` command: CacheStats::Snapshot() totals plus service gauges.
+  void AppendStats(std::vector<char>& out) const;
+
+  /// Aggregated engine stats across shards (locks each shard briefly).
+  [[nodiscard]] CacheStats TotalStats() const;
+  /// Live items across shards (= memcached curr_items).
+  [[nodiscard]] std::uint64_t ItemCount() const;
+  /// Hash collisions resolved across shards (expected 0 in real runs).
+  [[nodiscard]] std::uint64_t CollisionsResolved() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Entry {
+    std::string key;    ///< exact key string (collision verification)
+    std::string value;  ///< payload bytes
+    std::uint32_t flags = 0;
+    std::uint64_t cas = 0;
+    bool live = false;  ///< engine-backed as of the last touch
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<CacheEngine> engine;
+    std::unordered_map<KeyId, Entry> entries;
+    std::uint64_t cas_counter = 0;
+    std::uint64_t collisions = 0;
+  };
+
+  [[nodiscard]] Shard& ShardFor(KeyId id) {
+    return *shards_[ShardedCache::ShardIndexFor(id, shards_.size())];
+  }
+  [[nodiscard]] MicroSecs PenaltyOf(std::uint32_t flags) const noexcept {
+    return flags != 0 ? static_cast<MicroSecs>(flags) : default_penalty_us_;
+  }
+  /// Resolves the entry for (id, key) under the shard lock, handling the
+  /// stale-entry and collision cases. Returns the entry when it is live
+  /// and verified, nullptr otherwise.
+  Entry* VerifiedLive(Shard& shard, KeyId id, std::string_view key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  MicroSecs default_penalty_us_;
+  Bytes default_size_;
+};
+
+}  // namespace pamakv::net

@@ -1,0 +1,62 @@
+// BlockingClient: a small synchronous memcached-ASCII client.
+//
+// Used by the load generator and the integration tests — deliberately
+// independent of the server's parsing code so the two ends of the wire
+// don't share bugs. One buffered TCP connection, blocking closed-loop
+// request/response.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pamakv::net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connects (IPv4). Throws std::system_error on failure.
+  void Connect(const std::string& host, std::uint16_t port);
+  void Close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  // ---- typed operations (one blocking round trip each) ----
+  /// flags carries the miss penalty in µs (see protocol.hpp).
+  bool Set(std::string_view key, std::uint32_t flags, std::string_view value);
+  /// True on hit; fills value (and flags when non-null).
+  bool Get(std::string_view key, std::string& value,
+           std::uint32_t* flags = nullptr);
+  bool Delete(std::string_view key);
+  /// STAT name->value pairs from the `stats` command.
+  std::vector<std::pair<std::string, std::uint64_t>> Stats();
+  std::string Version();
+  void FlushAll();
+
+  // ---- raw access (tests) ----
+  /// Sends bytes verbatim.
+  void SendRaw(std::string_view data);
+  /// Reads one CRLF-terminated line (returned without the CRLF).
+  std::string ReadLine();
+
+ private:
+  void ReadMore();
+  /// Reads exactly n bytes into out.
+  void ReadExact(std::string& out, std::size_t n);
+
+  int fd_ = -1;
+  std::string rxbuf_;
+  std::size_t rxpos_ = 0;
+  std::string txline_;  ///< reused scratch for request assembly
+};
+
+}  // namespace pamakv::net

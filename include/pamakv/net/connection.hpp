@@ -1,0 +1,100 @@
+// Connection: per-client protocol state machine with reusable buffers.
+//
+// The byte-level core is socket-free: Ingest() accepts whatever fragment
+// of the request stream just arrived (any split, any garbage), consumes
+// complete commands, and appends responses to the output buffer. The
+// event loop wraps it with nonblocking read/write; tests drive Ingest()
+// directly, which is also how the zero-allocation harness measures the
+// read→parse→respond path without socket noise.
+//
+// Buffer discipline: one receive and one transmit vector per connection,
+// trimmed by moving a consumed-offset and compacted by memmove — they
+// grow to the connection's high-water mark once and are then reused, so
+// steady-state request handling performs no heap allocation (the same
+// rule PR 1 enforced inside the engine).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pamakv/net/protocol.hpp"
+
+namespace pamakv::net {
+
+class CacheService;
+
+/// Socket-facing result of OnReadable/FlushOutput.
+enum class IoStatus : std::uint8_t {
+  kOk,        ///< progress made, keep the connection
+  kWouldBlock,///< kernel buffer empty/full, retry on the next event
+  kClosed,    ///< peer closed or protocol demands close
+};
+
+class Connection {
+ public:
+  /// fd < 0 builds a detached connection (tests, alloc harness).
+  explicit Connection(CacheService& service, int fd = -1);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Feeds raw bytes into the state machine. Returns false when the
+  /// connection must close (quit, fatal protocol violation); pending
+  /// output should still be flushed first.
+  bool Ingest(const char* data, std::size_t n);
+
+  /// Unsent response bytes (test access; the loop uses FlushOutput).
+  [[nodiscard]] std::string_view pending_output() const noexcept {
+    return {tx_.data() + tx_head_, tx_.size() - tx_head_};
+  }
+  /// Drops `n` bytes of pending output (tests; FlushOutput does this
+  /// after write()).
+  void ConsumeOutput(std::size_t n);
+
+  // ---- socket plumbing (fd >= 0 only) ----
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Reads until EAGAIN/EOF, ingesting as it goes.
+  IoStatus OnReadable();
+  /// Writes pending output until EAGAIN or drained.
+  IoStatus FlushOutput();
+  [[nodiscard]] bool wants_write() const noexcept {
+    return tx_head_ < tx_.size();
+  }
+  /// True once Ingest decided the connection should close.
+  [[nodiscard]] bool closing() const noexcept { return closing_; }
+
+ private:
+  /// Consumes as many complete commands as the buffer holds.
+  void ProcessBuffer();
+  /// Executes one parsed command line; may switch to data mode for set.
+  void ExecuteLine(const Command& cmd);
+  void ExecuteRetrieval(const Command& cmd);
+  void FinishSet(std::string_view data);
+  void ReleaseConsumed();
+  void FatalClientError(std::string_view message);
+
+  CacheService* service_;
+  int fd_;
+  std::vector<char> rx_;
+  std::size_t rx_head_ = 0;   ///< first unconsumed byte in rx_
+  std::size_t rx_scan_ = 0;   ///< resume offset for the newline scan
+  std::vector<char> tx_;
+  std::size_t tx_head_ = 0;   ///< first unsent byte in tx_
+
+  // Pending `set`: command line seen, waiting for <bytes>CRLF of payload.
+  // The key is copied out of rx_ because the buffer may grow/compact
+  // while we wait for the rest of the payload.
+  bool awaiting_data_ = false;
+  char pending_key_[kMaxKeyBytes];
+  std::size_t pending_key_len_ = 0;
+  std::uint32_t pending_flags_ = 0;
+  std::uint64_t pending_bytes_ = 0;
+  bool pending_noreply_ = false;
+  /// Oversized set: swallow this many raw bytes without buffering them.
+  std::uint64_t discard_remaining_ = 0;
+  bool closing_ = false;
+};
+
+}  // namespace pamakv::net

@@ -1,0 +1,70 @@
+// EventLoop: a minimal epoll reactor.
+//
+// One loop runs on one thread. File descriptors are registered with a
+// callback invoked with the ready-event mask; Post() marshals a closure
+// onto the loop thread (used by the acceptor to hand new connections to
+// another loop, and by Stop()), woken via an eventfd. All handler and fd
+// bookkeeping is only touched from the loop thread, so handlers need no
+// locks of their own; destruction of a handler that is mid-dispatch is
+// deferred to the end of the dispatch round.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace pamakv::net {
+
+class EventLoop {
+ public:
+  using Handler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). Loop thread only
+  /// (use Post from other threads).
+  void Add(int fd, std::uint32_t events, Handler handler);
+  /// Changes the interest mask of a registered fd. Loop thread only.
+  void Mod(int fd, std::uint32_t events);
+  /// Unregisters `fd`; safe to call from inside its own handler (the
+  /// callback object is destroyed after the dispatch round). Does not
+  /// close the fd. Loop thread only.
+  void Del(int fd);
+
+  /// Runs a closure on the loop thread (immediately when already on it).
+  /// Thread-safe.
+  void Post(std::function<void()> fn);
+
+  /// Dispatches events until Stop(). Claims the calling thread as the
+  /// loop thread.
+  void Run();
+  /// Thread-safe; Run() returns after the current dispatch round.
+  void Stop();
+
+ private:
+  void Wake();
+  void DrainPosted();
+
+  int epoll_fd_;
+  int wake_fd_;
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_;
+
+  std::unordered_map<int, std::unique_ptr<Handler>> handlers_;
+  /// Handlers removed during dispatch live here until the round ends.
+  std::vector<std::unique_ptr<Handler>> graveyard_;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace pamakv::net

@@ -1,0 +1,89 @@
+// Memcached ASCII protocol: command-line parsing and response formatting.
+//
+// The server speaks the classic text protocol (get/gets multi-key, set,
+// delete, stats, flush_all, version, quit) so any memcached client — or
+// `printf | nc` — can talk to the cache. Parsing is designed for the
+// connection hot path: ParseCommandLine works on a string_view into the
+// connection's receive buffer, the parsed keys alias that buffer, and the
+// Append* formatters write into a caller-owned byte vector that is reused
+// across requests. Nothing in this header allocates once buffers have
+// reached their high-water capacity.
+//
+// Penalty-aware twist: the `flags` field of `set` (a 32-bit opaque in
+// memcached) carries the key's miss penalty in microseconds. The server
+// hands it to the engine as the item's penalty, so PAMA's penalty bands
+// work end-to-end over the wire; clients that ignore the convention get
+// flags=0 => the server's default penalty.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pamakv::net {
+
+// Protocol limits (memcached's own where it has them).
+inline constexpr std::size_t kMaxKeyBytes = 250;
+inline constexpr std::size_t kMaxKeysPerGet = 64;
+inline constexpr std::size_t kMaxValueBytes = 1024 * 1024;
+/// Longest accepted command line: "gets" + 64 max-length keys.
+inline constexpr std::size_t kMaxLineBytes = 32 * 1024;
+
+enum class Verb : std::uint8_t {
+  kGet,
+  kGets,  ///< get + CAS unique id per value
+  kSet,
+  kDelete,
+  kStats,
+  kFlushAll,
+  kVersion,
+  kQuit,
+};
+
+/// One parsed command line. Keys are views into the buffer the line was
+/// parsed from — valid only until that buffer is consumed or compacted.
+struct Command {
+  Verb verb = Verb::kGet;
+  std::array<std::string_view, kMaxKeysPerGet> keys;
+  std::size_t num_keys = 0;
+  std::uint32_t flags = 0;     ///< set: miss penalty in µs (0 => default)
+  std::uint64_t exptime = 0;   ///< parsed, unused (the engine has no TTLs)
+  std::uint64_t value_bytes = 0;  ///< set: payload length that follows
+  bool noreply = false;
+};
+
+enum class ParseStatus : std::uint8_t {
+  kOk,           ///< `out` holds a complete command
+  kError,        ///< unknown verb => "ERROR\r\n"
+  kClientError,  ///< malformed arguments => "CLIENT_ERROR <message>\r\n"
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kOk;
+  /// Message for kClientError; points at static storage.
+  std::string_view error;
+};
+
+/// Parses one command line (trailing CRLF already stripped). Never
+/// allocates; never reads outside `line`.
+[[nodiscard]] ParseResult ParseCommandLine(std::string_view line, Command& out);
+
+// ---- Response formatting: append into a reusable byte buffer ----
+
+inline void AppendLiteral(std::vector<char>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void AppendUInt(std::vector<char>& out, std::uint64_t v);
+
+/// "VALUE <key> <flags> <bytes>[ <cas>]\r\n<data>\r\n"
+void AppendValueBlock(std::vector<char>& out, std::string_view key,
+                      std::uint32_t flags, std::string_view data,
+                      std::uint64_t cas, bool with_cas);
+
+/// "STAT <name> <value>\r\n"
+void AppendStat(std::vector<char>& out, std::string_view name,
+                std::uint64_t value);
+
+}  // namespace pamakv::net

@@ -1,0 +1,81 @@
+// Server: TCP front end binding CacheService to the memcached protocol.
+//
+// One nonblocking listen socket + N event-loop threads. The acceptor runs
+// on loop 0 and hands each accepted connection to a loop round-robin (via
+// EventLoop::Post, so every connection is owned and touched by exactly
+// one loop thread); request handling then locks only the CacheService
+// shard the key routes to. Start() with port 0 binds an ephemeral port —
+// port() reports the real one, which is how the in-process integration
+// tests run against real sockets without fixed-port collisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pamakv/net/connection.hpp"
+#include "pamakv/net/event_loop.hpp"
+
+namespace pamakv::net {
+
+class CacheService;
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 11211;  ///< 0 => ephemeral, see Server::port()
+  std::size_t threads = 1;     ///< event-loop threads
+};
+
+class Server {
+ public:
+  Server(const ServerConfig& config, CacheService& service);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the loop threads. Throws std::system_error
+  /// on socket errors (e.g. port in use).
+  void Start();
+  /// Stops the loops, joins the threads, closes every connection. Safe to
+  /// call twice; the destructor calls it.
+  void Stop();
+
+  /// Actual bound port (differs from config when config.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t total_connections() const noexcept {
+    return total_connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t curr_connections() const noexcept {
+    return curr_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-loop world: the loop, its thread, and the connections it owns.
+  struct Loop {
+    EventLoop loop;
+    std::thread thread;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  };
+
+  void Accept();
+  void Register(Loop& loop, int fd);
+  void HandleEvents(Loop& loop, Connection& conn, std::uint32_t events);
+  void CloseConnection(Loop& loop, int fd);
+
+  ServerConfig config_;
+  CacheService* service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<std::size_t> next_loop_{0};
+  std::atomic<std::uint64_t> total_connections_{0};
+  std::atomic<std::uint64_t> curr_connections_{0};
+};
+
+}  // namespace pamakv::net

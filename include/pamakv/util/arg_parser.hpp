@@ -1,11 +1,16 @@
-// Tiny command-line flag parser shared by benches and examples.
-// Supports --name=value and --name value forms plus boolean switches.
+// Tiny command-line flag parser shared by benches, examples, the server
+// and the load generator. Supports --name=value and --name value forms
+// plus boolean switches. GetInt/GetDouble reject malformed values with an
+// error naming the offending flag; binaries can register per-flag help
+// text via Describe() and print it when --help is present.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pamakv {
@@ -17,8 +22,12 @@ class ArgParser {
   [[nodiscard]] bool Has(const std::string& name) const;
   [[nodiscard]] std::string GetString(const std::string& name,
                                       const std::string& fallback) const;
+  /// Throws std::runtime_error naming the flag when the value is present
+  /// but not a full valid integer (e.g. --port=80x0).
   [[nodiscard]] std::int64_t GetInt(const std::string& name,
                                     std::int64_t fallback) const;
+  /// Throws std::runtime_error naming the flag when the value is present
+  /// but not a full valid number.
   [[nodiscard]] double GetDouble(const std::string& name, double fallback) const;
   [[nodiscard]] bool GetBool(const std::string& name, bool fallback) const;
 
@@ -27,11 +36,22 @@ class ArgParser {
     return positional_;
   }
 
+  // ---- --help support ----
+  /// Registers help text for --<flag> (shown by PrintHelp in registration
+  /// order). Returns *this so registrations chain.
+  ArgParser& Describe(std::string flag, std::string help);
+  /// True when the user passed --help.
+  [[nodiscard]] bool HelpRequested() const { return Has("help"); }
+  /// Prints "usage: <program> ..." + the Describe()d flags.
+  void PrintHelp(std::ostream& out, const std::string& program,
+                 const std::string& summary) const;
+
  private:
   [[nodiscard]] std::optional<std::string> Find(const std::string& name) const;
 
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> help_;
 };
 
 /// Reads a positive scale factor from the PAMA_BENCH_SCALE environment

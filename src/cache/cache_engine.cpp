@@ -127,6 +127,8 @@ SetResult CacheEngine::Set(KeyId key, Bytes size, MicroSecs penalty) {
   if (existing != kInvalidHandle) {
     Item& item = items_[existing];
     if (item.cls == cls && item.sub == sub) {
+      stats_.bytes_stored += size;
+      stats_.bytes_stored -= item.size;
       item.size = size;
       item.penalty = penalty;
       item.last_access = clock_;
@@ -159,6 +161,7 @@ SetResult CacheEngine::Set(KeyId key, Bytes size, MicroSecs penalty) {
   item.last_access = clock_;
   item.node = StackOf(cls, sub).PushTop(h);
 
+  stats_.bytes_stored += size;
   index_.Upsert(key, h);
   // The key is cached again: its ghost entry (if any) is obsolete.
   GhostOf(cls, sub).Remove(key);
@@ -196,6 +199,7 @@ bool CacheEngine::ObtainSlot(ClassId cls, SubclassId sub) {
 
 void CacheEngine::RemoveItem(ItemHandle h, bool to_ghost) {
   Item& item = items_[h];
+  stats_.bytes_stored -= item.size;
   if (to_ghost) {
     ++stats_.evictions;
     GhostOf(item.cls, item.sub).Push(item.key, item.penalty);

@@ -15,6 +15,9 @@ CacheStats CacheStats::Since(const CacheStats& earlier) const noexcept {
   d.slab_migrations = slab_migrations - earlier.slab_migrations;
   d.ghost_hits = ghost_hits - earlier.ghost_hits;
   d.miss_penalty_total_us = miss_penalty_total_us - earlier.miss_penalty_total_us;
+  // Gauge: unsigned subtraction yields the (wrapping) net change, which
+  // window consumers treat as a delta rather than a level.
+  d.bytes_stored = bytes_stored - earlier.bytes_stored;
   return d;
 }
 
@@ -30,7 +33,25 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) noexcept {
   slab_migrations += other.slab_migrations;
   ghost_hits += other.ghost_hits;
   miss_penalty_total_us += other.miss_penalty_total_us;
+  bytes_stored += other.bytes_stored;
   return *this;
+}
+
+StatsSnapshot CacheStats::Snapshot() const noexcept {
+  return StatsSnapshot{{
+      {"cmd_get", gets},
+      {"cmd_set", sets},
+      {"cmd_delete", dels},
+      {"get_hits", get_hits},
+      {"get_misses", get_misses},
+      {"evictions", evictions},
+      {"bytes", bytes_stored},
+      {"set_updates", set_updates},
+      {"set_failures", set_failures},
+      {"ghost_hits", ghost_hits},
+      {"slab_migrations", slab_migrations},
+      {"miss_penalty_total_us", miss_penalty_total_us},
+  }};
 }
 
 }  // namespace pamakv

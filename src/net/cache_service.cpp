@@ -1,0 +1,175 @@
+#include "pamakv/net/cache_service.hpp"
+
+#include <stdexcept>
+
+#include "pamakv/cache/string_keys.hpp"
+#include "pamakv/net/protocol.hpp"
+
+namespace pamakv::net {
+
+CacheService::CacheService(const CacheServiceConfig& config,
+                           const EngineFactory& factory)
+    : default_penalty_us_(config.default_penalty_us),
+      default_size_(config.default_size) {
+  if (config.shards == 0) throw std::invalid_argument("shards must be >= 1");
+  shards_.reserve(config.shards);
+  const Bytes per_shard = config.capacity_bytes / config.shards;
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = factory(per_shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+CacheService::Entry* CacheService::VerifiedLive(Shard& shard, KeyId id,
+                                                std::string_view key) {
+  const auto it = shard.entries.find(id);
+  Entry* entry = it != shard.entries.end() ? &it->second : nullptr;
+  if (!shard.engine->Contains(id)) {
+    // Evicted behind our back (or never stored): the entry, if any, is a
+    // tombstone that remembers size/penalty for miss routing.
+    if (entry != nullptr) entry->live = false;
+    return nullptr;
+  }
+  if (entry == nullptr || !entry->live || entry->key != key) {
+    // The engine holds this id for a *different* string (or for a store
+    // the table never saw — only possible if callers bypass the service).
+    // Matching StringKeyCache, drop the squatter so both keys see
+    // consistent misses from here on.
+    ++shard.collisions;
+    shard.engine->Del(id);
+    if (entry != nullptr) entry->live = false;
+    return nullptr;
+  }
+  return entry;
+}
+
+bool CacheService::Get(std::string_view key, std::vector<char>& out,
+                       bool with_cas) {
+  const KeyId id = HashStringKey(key);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* entry = VerifiedLive(shard, id, key);
+  if (entry != nullptr) {
+    const auto result =
+        shard.engine->Get(id, entry->value.size(), PenaltyOf(entry->flags));
+    if (result.hit) {
+      AppendValueBlock(out, key, entry->flags, entry->value, entry->cas,
+                       with_cas);
+      return true;
+    }
+    // Unreachable in practice (Contains was just true), but fall through
+    // to miss handling rather than serving an unbacked value.
+    entry->live = false;
+    return false;
+  }
+  // Miss: charge the engine so stats, ghost lists and PAMA's demand
+  // attribution see it. A remembered entry supplies the key's real size
+  // and penalty; a never-seen key gets the configured defaults.
+  const auto it = shard.entries.find(id);
+  const Bytes size =
+      it != shard.entries.end() ? it->second.value.size() : default_size_;
+  const MicroSecs penalty = it != shard.entries.end()
+                                ? PenaltyOf(it->second.flags)
+                                : default_penalty_us_;
+  shard.engine->Get(id, size, penalty);
+  return false;
+}
+
+bool CacheService::Set(std::string_view key, std::uint32_t flags,
+                       std::string_view value) {
+  const KeyId id = HashStringKey(key);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Resolve collisions first so the engine's overwrite path never mixes
+  // two strings' metadata under one id.
+  const auto it = shard.entries.find(id);
+  if (shard.engine->Contains(id) &&
+      (it == shard.entries.end() || !it->second.live ||
+       it->second.key != key)) {
+    ++shard.collisions;
+    shard.engine->Del(id);
+    if (it != shard.entries.end()) it->second.live = false;
+  }
+  const SetResult result =
+      shard.engine->Set(id, value.size(), PenaltyOf(flags));
+  // Record the store attempt either way: a refused store's tombstone keeps
+  // routing this key's misses to the right ghost list, which is how the
+  // key earns space once its demand proves itself.
+  Entry& entry = it != shard.entries.end() ? it->second : shard.entries[id];
+  entry.key.assign(key.data(), key.size());
+  entry.value.assign(value.data(), value.size());
+  entry.flags = flags;
+  entry.cas = ++shard.cas_counter;
+  entry.live = result.stored;
+  return result.stored;
+}
+
+bool CacheService::Del(std::string_view key) {
+  const KeyId id = HashStringKey(key);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(id);
+  if (it == shard.entries.end() || !it->second.live || it->second.key != key) {
+    // Absent, stale, or a collision squatter: a DELETE of this name must
+    // not remove someone else's entry. Count the attempt engine-side the
+    // way CacheEngine::Del counts missing keys.
+    shard.engine->Del(id);
+    return false;
+  }
+  it->second.live = false;
+  return shard.engine->Del(id);
+}
+
+std::uint64_t CacheService::FlushAll() {
+  std::uint64_t flushed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, entry] : shard->entries) {
+      if (!entry.live) continue;
+      entry.live = false;
+      if (shard->engine->Del(id)) ++flushed;
+    }
+  }
+  return flushed;
+}
+
+CacheStats CacheService::TotalStats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->engine->stats();
+  }
+  return total;
+}
+
+std::uint64_t CacheService::ItemCount() const {
+  std::uint64_t items = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    items += shard->engine->item_count();
+  }
+  return items;
+}
+
+std::uint64_t CacheService::CollisionsResolved() const {
+  std::uint64_t collisions = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    collisions += shard->collisions;
+  }
+  return collisions;
+}
+
+void CacheService::AppendStats(std::vector<char>& out) const {
+  const CacheStats total = TotalStats();
+  for (const StatEntry& stat : total.Snapshot()) {
+    AppendStat(out, stat.name, stat.value);
+  }
+  AppendStat(out, "curr_items", ItemCount());
+  AppendStat(out, "shards", shards_.size());
+  AppendStat(out, "hash_collisions_resolved", CollisionsResolved());
+  AppendLiteral(out, "END\r\n");
+}
+
+}  // namespace pamakv::net

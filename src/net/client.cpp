@@ -1,0 +1,193 @@
+#include "pamakv/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pamakv::net {
+
+namespace {
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_),
+      rxbuf_(std::move(other.rxbuf_)),
+      rxpos_(other.rxpos_) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rxbuf_ = std::move(other.rxbuf_);
+    rxpos_ = other.rxpos_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void BlockingClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw std::invalid_argument("bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    Close();
+    errno = saved;
+    ThrowErrno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  rxbuf_.clear();
+  rxpos_ = 0;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void BlockingClient::SendRaw(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void BlockingClient::ReadMore() {
+  // Compact lazily so rxbuf_ reuses its capacity.
+  if (rxpos_ > 0 && rxpos_ == rxbuf_.size()) {
+    rxbuf_.clear();
+    rxpos_ = 0;
+  }
+  char chunk[16 * 1024];
+  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+  if (n < 0) {
+    if (errno == EINTR) return;
+    ThrowErrno("recv");
+  }
+  if (n == 0) throw std::runtime_error("server closed connection");
+  rxbuf_.append(chunk, static_cast<std::size_t>(n));
+}
+
+std::string BlockingClient::ReadLine() {
+  while (true) {
+    const std::size_t nl = rxbuf_.find('\n', rxpos_);
+    if (nl != std::string::npos) {
+      std::size_t end = nl;
+      if (end > rxpos_ && rxbuf_[end - 1] == '\r') --end;
+      std::string line = rxbuf_.substr(rxpos_, end - rxpos_);
+      rxpos_ = nl + 1;
+      return line;
+    }
+    ReadMore();
+  }
+}
+
+void BlockingClient::ReadExact(std::string& out, std::size_t n) {
+  while (rxbuf_.size() - rxpos_ < n) ReadMore();
+  out.assign(rxbuf_, rxpos_, n);
+  rxpos_ += n;
+}
+
+bool BlockingClient::Set(std::string_view key, std::uint32_t flags,
+                         std::string_view value) {
+  txline_.clear();
+  txline_.append("set ").append(key).append(" ");
+  txline_.append(std::to_string(flags));
+  txline_.append(" 0 ").append(std::to_string(value.size())).append("\r\n");
+  txline_.append(value).append("\r\n");
+  SendRaw(txline_);
+  return ReadLine() == "STORED";
+}
+
+bool BlockingClient::Get(std::string_view key, std::string& value,
+                         std::uint32_t* flags) {
+  txline_.clear();
+  txline_.append("get ").append(key).append("\r\n");
+  SendRaw(txline_);
+  bool hit = false;
+  while (true) {
+    const std::string line = ReadLine();
+    if (line == "END") return hit;
+    if (line.rfind("VALUE ", 0) == 0) {
+      // "VALUE <key> <flags> <bytes>"
+      const std::size_t sp1 = line.find(' ', 6);
+      const std::size_t sp2 = line.find(' ', sp1 + 1);
+      const auto parsed_flags =
+          std::stoul(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      const auto bytes = std::stoull(line.substr(sp2 + 1));
+      if (flags != nullptr) *flags = static_cast<std::uint32_t>(parsed_flags);
+      ReadExact(value, static_cast<std::size_t>(bytes));
+      // Trailing CRLF after the data block.
+      if (ReadLine() != "") throw std::runtime_error("bad value terminator");
+      hit = true;
+      continue;
+    }
+    throw std::runtime_error("unexpected get response: " + line);
+  }
+}
+
+bool BlockingClient::Delete(std::string_view key) {
+  txline_.clear();
+  txline_.append("delete ").append(key).append("\r\n");
+  SendRaw(txline_);
+  return ReadLine() == "DELETED";
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> BlockingClient::Stats() {
+  SendRaw("stats\r\n");
+  std::vector<std::pair<std::string, std::uint64_t>> stats;
+  while (true) {
+    const std::string line = ReadLine();
+    if (line == "END") return stats;
+    if (line.rfind("STAT ", 0) != 0) {
+      throw std::runtime_error("unexpected stats response: " + line);
+    }
+    const std::size_t sp = line.find(' ', 5);
+    stats.emplace_back(line.substr(5, sp - 5),
+                       std::stoull(line.substr(sp + 1)));
+  }
+}
+
+std::string BlockingClient::Version() {
+  SendRaw("version\r\n");
+  std::string line = ReadLine();
+  if (line.rfind("VERSION ", 0) == 0) line.erase(0, 8);
+  return line;
+}
+
+void BlockingClient::FlushAll() {
+  SendRaw("flush_all\r\n");
+  const std::string line = ReadLine();
+  if (line != "OK") throw std::runtime_error("flush_all failed: " + line);
+}
+
+}  // namespace pamakv::net

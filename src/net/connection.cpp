@@ -1,0 +1,250 @@
+#include "pamakv/net/connection.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pamakv/net/cache_service.hpp"
+
+namespace pamakv::net {
+
+namespace {
+constexpr std::size_t kReadChunk = 16 * 1024;
+/// Compact rx_ when the dead prefix crosses this threshold; below it the
+/// memmove costs more than the space it reclaims.
+constexpr std::size_t kCompactThreshold = 4 * 1024;
+}  // namespace
+
+Connection::Connection(CacheService& service, int fd)
+    : service_(&service), fd_(fd) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::ConsumeOutput(std::size_t n) {
+  tx_head_ += n;
+  if (tx_head_ >= tx_.size()) {
+    tx_.clear();
+    tx_head_ = 0;
+  }
+}
+
+void Connection::ReleaseConsumed() {
+  if (rx_head_ == rx_.size()) {
+    rx_.clear();
+    rx_head_ = 0;
+    rx_scan_ = 0;
+  } else if (rx_head_ >= kCompactThreshold) {
+    std::memmove(rx_.data(), rx_.data() + rx_head_, rx_.size() - rx_head_);
+    rx_.resize(rx_.size() - rx_head_);
+    rx_scan_ -= rx_head_;
+    rx_head_ = 0;
+  }
+}
+
+void Connection::FatalClientError(std::string_view message) {
+  AppendLiteral(tx_, "CLIENT_ERROR ");
+  AppendLiteral(tx_, message);
+  AppendLiteral(tx_, "\r\n");
+  closing_ = true;
+}
+
+bool Connection::Ingest(const char* data, std::size_t n) {
+  if (closing_) return false;
+  // Oversized-set payloads are swallowed straight from the input so a
+  // hostile "set k 0 0 999999999" cannot balloon the receive buffer.
+  if (discard_remaining_ > 0) {
+    const std::size_t eat = static_cast<std::size_t>(
+        discard_remaining_ < n ? discard_remaining_ : n);
+    discard_remaining_ -= eat;
+    data += eat;
+    n -= eat;
+    if (n == 0) return true;
+  }
+  rx_.insert(rx_.end(), data, data + n);
+  ProcessBuffer();
+  ReleaseConsumed();
+  return !closing_;
+}
+
+void Connection::ProcessBuffer() {
+  while (!closing_) {
+    if (discard_remaining_ > 0) {
+      // Oversized-set payload that was already buffered with its command
+      // line: drop it in place.
+      const std::size_t avail = rx_.size() - rx_head_;
+      const std::size_t eat = static_cast<std::size_t>(
+          discard_remaining_ < avail ? discard_remaining_ : avail);
+      rx_head_ += eat;
+      rx_scan_ = rx_head_;
+      discard_remaining_ -= eat;
+      if (discard_remaining_ > 0) return;  // need more input
+      continue;
+    }
+    if (awaiting_data_) {
+      // Need <bytes> of payload + CRLF.
+      const std::size_t need = static_cast<std::size_t>(pending_bytes_) + 2;
+      if (rx_.size() - rx_head_ < need) {
+        rx_.reserve(rx_head_ + need);  // one growth, then wait for bytes
+        return;
+      }
+      const char* payload = rx_.data() + rx_head_;
+      if (payload[need - 2] != '\r' || payload[need - 1] != '\n') {
+        FatalClientError("bad data chunk");
+        return;
+      }
+      FinishSet(std::string_view(payload, static_cast<std::size_t>(pending_bytes_)));
+      rx_head_ += need;
+      rx_scan_ = rx_head_;
+      awaiting_data_ = false;
+      continue;
+    }
+
+    // Scan for the end of the next command line from where we left off.
+    if (rx_scan_ >= rx_.size()) {
+      if (rx_.size() - rx_head_ > kMaxLineBytes) {
+        FatalClientError("line too long");
+      }
+      return;
+    }
+    const char* base = rx_.data();
+    const char* nl = static_cast<const char*>(
+        std::memchr(base + rx_scan_, '\n', rx_.size() - rx_scan_));
+    if (nl == nullptr) {
+      rx_scan_ = rx_.size();
+      if (rx_.size() - rx_head_ > kMaxLineBytes) {
+        FatalClientError("line too long");
+      }
+      return;
+    }
+    std::size_t line_end = static_cast<std::size_t>(nl - base);
+    const std::size_t next = line_end + 1;
+    // Tolerate bare \n (printf | nc without \r); strip the \r when present.
+    if (line_end > rx_head_ && base[line_end - 1] == '\r') --line_end;
+    const std::string_view line(base + rx_head_, line_end - rx_head_);
+    if (line.size() > kMaxLineBytes) {
+      FatalClientError("line too long");
+      return;
+    }
+
+    Command cmd;
+    const ParseResult parsed = ParseCommandLine(line, cmd);
+    // The line (and any key views into it) stays valid through ExecuteLine;
+    // rx_ is not mutated until the command is fully handled.
+    switch (parsed.status) {
+      case ParseStatus::kOk:
+        ExecuteLine(cmd);
+        break;
+      case ParseStatus::kError:
+        AppendLiteral(tx_, "ERROR\r\n");
+        break;
+      case ParseStatus::kClientError:
+        AppendLiteral(tx_, "CLIENT_ERROR ");
+        AppendLiteral(tx_, parsed.error);
+        AppendLiteral(tx_, "\r\n");
+        break;
+    }
+    rx_head_ = next;
+    rx_scan_ = next;
+  }
+}
+
+void Connection::ExecuteLine(const Command& cmd) {
+  switch (cmd.verb) {
+    case Verb::kGet:
+    case Verb::kGets:
+      ExecuteRetrieval(cmd);
+      break;
+    case Verb::kSet: {
+      if (cmd.value_bytes > kMaxValueBytes) {
+        // Swallow the announced payload (+CRLF) without buffering it,
+        // then keep the connection usable — memcached's behavior.
+        // ProcessBuffer drains any payload bytes already in rx_; Ingest
+        // eats the rest straight from the input.
+        discard_remaining_ = cmd.value_bytes + 2;
+        if (!cmd.noreply) {
+          AppendLiteral(tx_, "SERVER_ERROR object too large for cache\r\n");
+        }
+        break;
+      }
+      awaiting_data_ = true;
+      pending_key_len_ = cmd.keys[0].size();
+      std::memcpy(pending_key_, cmd.keys[0].data(), pending_key_len_);
+      pending_flags_ = cmd.flags;
+      pending_bytes_ = cmd.value_bytes;
+      pending_noreply_ = cmd.noreply;
+      break;
+    }
+    case Verb::kDelete: {
+      const bool deleted = service_->Del(cmd.keys[0]);
+      if (!cmd.noreply) {
+        AppendLiteral(tx_, deleted ? "DELETED\r\n" : "NOT_FOUND\r\n");
+      }
+      break;
+    }
+    case Verb::kStats:
+      service_->AppendStats(tx_);
+      break;
+    case Verb::kFlushAll:
+      service_->FlushAll();
+      if (!cmd.noreply) AppendLiteral(tx_, "OK\r\n");
+      break;
+    case Verb::kVersion:
+      AppendLiteral(tx_, "VERSION pamakv-0.2\r\n");
+      break;
+    case Verb::kQuit:
+      closing_ = true;
+      break;
+  }
+}
+
+void Connection::ExecuteRetrieval(const Command& cmd) {
+  const bool with_cas = cmd.verb == Verb::kGets;
+  for (std::size_t i = 0; i < cmd.num_keys; ++i) {
+    service_->Get(cmd.keys[i], tx_, with_cas);
+  }
+  AppendLiteral(tx_, "END\r\n");
+}
+
+void Connection::FinishSet(std::string_view data) {
+  const std::string_view key(pending_key_, pending_key_len_);
+  const bool stored = service_->Set(key, pending_flags_, data);
+  if (!pending_noreply_) {
+    AppendLiteral(tx_, stored ? "STORED\r\n" : "NOT_STORED\r\n");
+  }
+}
+
+IoStatus Connection::OnReadable() {
+  while (true) {
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      if (!Ingest(chunk, static_cast<std::size_t>(n))) return IoStatus::kClosed;
+      if (static_cast<std::size_t>(n) < sizeof chunk) return IoStatus::kOk;
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    if (errno == EINTR) continue;
+    return IoStatus::kClosed;
+  }
+}
+
+IoStatus Connection::FlushOutput() {
+  while (wants_write()) {
+    const ssize_t n =
+        ::write(fd_, tx_.data() + tx_head_, tx_.size() - tx_head_);
+    if (n > 0) {
+      ConsumeOutput(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EINTR) continue;
+    return IoStatus::kClosed;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace pamakv::net

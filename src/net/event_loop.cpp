@@ -1,0 +1,139 @@
+#include "pamakv/net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pamakv::net {
+
+namespace {
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) ThrowErrno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    ThrowErrno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    ThrowErrno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, std::uint32_t events, Handler handler) {
+  auto boxed = std::make_unique<Handler>(std::move(handler));
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ThrowErrno("epoll_ctl(add)");
+  }
+  handlers_[fd] = std::move(boxed);
+}
+
+void EventLoop::Mod(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    ThrowErrno("epoll_ctl(mod)");
+  }
+}
+
+void EventLoop::Del(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // The handler may be the one currently executing; keep the object alive
+  // until the dispatch round finishes.
+  graveyard_.push_back(std::move(it->second));
+  handlers_.erase(it);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  // acquire pairs with Run()'s release store so loop_thread_ is visible.
+  if (running_.load(std::memory_order_acquire) &&
+      std::this_thread::get_id() == loop_thread_) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::Run() {
+  loop_thread_ = std::this_thread::get_id();
+  running_.store(true, std::memory_order_release);
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drain, sizeof drain);
+        continue;
+      }
+      // Look the handler up per event: an earlier callback in this batch
+      // may have Del()ed this fd already.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      (*it->second)(events[i].events);
+    }
+    graveyard_.clear();
+    DrainPosted();
+  }
+  // One final drain so a Stop() racing with Post() leaves no orphans.
+  DrainPosted();
+  running_.store(false, std::memory_order_release);
+}
+
+void EventLoop::Stop() {
+  running_.store(false, std::memory_order_release);
+  Wake();
+}
+
+}  // namespace pamakv::net

@@ -1,0 +1,196 @@
+#include "pamakv/net/protocol.hpp"
+
+#include <charconv>
+
+namespace pamakv::net {
+
+namespace {
+
+/// Splits the next space-delimited token off `rest` (runs of spaces are
+/// tolerated, as memcached does). Empty view when exhausted.
+std::string_view NextToken(std::string_view& rest) {
+  std::size_t begin = 0;
+  while (begin < rest.size() && rest[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  while (end < rest.size() && rest[end] != ' ') ++end;
+  const std::string_view token = rest.substr(begin, end - begin);
+  rest.remove_prefix(end);
+  return token;
+}
+
+bool ParseU64(std::string_view token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool ValidKey(std::string_view key) {
+  if (key.empty() || key.size() > kMaxKeyBytes) return false;
+  for (const char c : key) {
+    // Spaces are token delimiters already; reject control bytes like
+    // memcached does (a key containing \r or \n would desync the stream).
+    if (static_cast<unsigned char>(c) <= 32 || c == 127) return false;
+  }
+  return true;
+}
+
+ParseResult ClientError(std::string_view message) {
+  return ParseResult{ParseStatus::kClientError, message};
+}
+
+ParseResult ParseRetrieval(std::string_view rest, Command& out) {
+  while (true) {
+    const std::string_view key = NextToken(rest);
+    if (key.empty()) break;
+    if (!ValidKey(key)) return ClientError("bad key");
+    if (out.num_keys == kMaxKeysPerGet) return ClientError("too many keys");
+    out.keys[out.num_keys++] = key;
+  }
+  if (out.num_keys == 0) return ClientError("no keys");
+  return ParseResult{};
+}
+
+ParseResult ParseSet(std::string_view rest, Command& out) {
+  const std::string_view key = NextToken(rest);
+  if (!ValidKey(key)) return ClientError("bad key");
+  std::uint64_t flags = 0;
+  if (!ParseU64(NextToken(rest), flags) || flags > 0xffffffffULL) {
+    return ClientError("bad flags");
+  }
+  if (!ParseU64(NextToken(rest), out.exptime)) {
+    return ClientError("bad exptime");
+  }
+  if (!ParseU64(NextToken(rest), out.value_bytes)) {
+    return ClientError("bad byte count");
+  }
+  const std::string_view tail = NextToken(rest);
+  if (tail == "noreply") {
+    out.noreply = true;
+  } else if (!tail.empty()) {
+    return ClientError("trailing arguments");
+  }
+  if (!NextToken(rest).empty()) return ClientError("trailing arguments");
+  out.keys[0] = key;
+  out.num_keys = 1;
+  out.flags = static_cast<std::uint32_t>(flags);
+  return ParseResult{};
+}
+
+ParseResult ParseDelete(std::string_view rest, Command& out) {
+  const std::string_view key = NextToken(rest);
+  if (!ValidKey(key)) return ClientError("bad key");
+  const std::string_view tail = NextToken(rest);
+  if (tail == "noreply") {
+    out.noreply = true;
+  } else if (!tail.empty()) {
+    return ClientError("trailing arguments");
+  }
+  if (!NextToken(rest).empty()) return ClientError("trailing arguments");
+  out.keys[0] = key;
+  out.num_keys = 1;
+  return ParseResult{};
+}
+
+/// flush_all [delay] [noreply] — the delay is parsed and ignored (the
+/// engine flushes immediately), matching our no-TTL simplification.
+ParseResult ParseFlushAll(std::string_view rest, Command& out) {
+  std::string_view token = NextToken(rest);
+  std::uint64_t delay = 0;
+  if (!token.empty() && token != "noreply") {
+    if (!ParseU64(token, delay)) return ClientError("bad delay");
+    token = NextToken(rest);
+  }
+  if (token == "noreply") {
+    out.noreply = true;
+    token = NextToken(rest);
+  }
+  if (!token.empty()) return ClientError("trailing arguments");
+  return ParseResult{};
+}
+
+ParseResult ParseBare(std::string_view rest) {
+  if (!NextToken(rest).empty()) return ClientError("trailing arguments");
+  return ParseResult{};
+}
+
+}  // namespace
+
+ParseResult ParseCommandLine(std::string_view line, Command& out) {
+  out = Command{};
+  std::string_view rest = line;
+  const std::string_view verb = NextToken(rest);
+  if (verb == "get") {
+    out.verb = Verb::kGet;
+    return ParseRetrieval(rest, out);
+  }
+  if (verb == "gets") {
+    out.verb = Verb::kGets;
+    return ParseRetrieval(rest, out);
+  }
+  if (verb == "set") {
+    out.verb = Verb::kSet;
+    return ParseSet(rest, out);
+  }
+  if (verb == "delete") {
+    out.verb = Verb::kDelete;
+    return ParseDelete(rest, out);
+  }
+  if (verb == "stats") {
+    out.verb = Verb::kStats;
+    return ParseBare(rest);
+  }
+  if (verb == "flush_all") {
+    out.verb = Verb::kFlushAll;
+    return ParseFlushAll(rest, out);
+  }
+  if (verb == "version") {
+    out.verb = Verb::kVersion;
+    return ParseBare(rest);
+  }
+  if (verb == "quit") {
+    out.verb = Verb::kQuit;
+    return ParseBare(rest);
+  }
+  return ParseResult{ParseStatus::kError, {}};
+}
+
+void AppendUInt(std::vector<char>& out, std::uint64_t v) {
+  char digits[20];
+  char* end = digits + sizeof digits;
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.insert(out.end(), p, end);
+}
+
+void AppendValueBlock(std::vector<char>& out, std::string_view key,
+                      std::uint32_t flags, std::string_view data,
+                      std::uint64_t cas, bool with_cas) {
+  AppendLiteral(out, "VALUE ");
+  AppendLiteral(out, key);
+  out.push_back(' ');
+  AppendUInt(out, flags);
+  out.push_back(' ');
+  AppendUInt(out, data.size());
+  if (with_cas) {
+    out.push_back(' ');
+    AppendUInt(out, cas);
+  }
+  AppendLiteral(out, "\r\n");
+  AppendLiteral(out, data);
+  AppendLiteral(out, "\r\n");
+}
+
+void AppendStat(std::vector<char>& out, std::string_view name,
+                std::uint64_t value) {
+  AppendLiteral(out, "STAT ");
+  AppendLiteral(out, name);
+  out.push_back(' ');
+  AppendUInt(out, value);
+  AppendLiteral(out, "\r\n");
+}
+
+}  // namespace pamakv::net

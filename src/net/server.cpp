@@ -1,0 +1,154 @@
+#include "pamakv/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "pamakv/net/cache_service.hpp"
+
+namespace pamakv::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void SetNonBlocking(int fd) {
+  // accept4/SOCK_NONBLOCK cover the common paths; this is the fallback.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config, CacheService& service)
+    : config_(config), service_(&service) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 512) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    ThrowErrno("bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  const std::size_t n = config_.threads > 0 ? config_.threads : 1;
+  loops_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<Loop>());
+  }
+  // The acceptor lives on loop 0.
+  loops_[0]->loop.Add(listen_fd_, EPOLLIN, [this](std::uint32_t) { Accept(); });
+  for (auto& loop : loops_) {
+    Loop* l = loop.get();
+    l->thread = std::thread([l] { l->loop.Run(); });
+  }
+  started_ = true;
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& loop : loops_) loop->loop.Stop();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Loop threads are gone; tearing down connection maps is race-free now.
+  for (auto& loop : loops_) loop->conns.clear();
+  loops_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::Accept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept errors (ECONNABORTED, EMFILE) — drop
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    SetNonBlocking(fd);
+    total_connections_.fetch_add(1, std::memory_order_relaxed);
+    curr_connections_.fetch_add(1, std::memory_order_relaxed);
+    Loop& target = *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                           loops_.size()];
+    // Register on the owning loop's thread so conns is single-threaded.
+    target.loop.Post([this, &target, fd] { Register(target, fd); });
+  }
+}
+
+void Server::Register(Loop& loop, int fd) {
+  auto conn = std::make_unique<Connection>(*service_, fd);
+  Connection* raw = conn.get();
+  loop.conns[fd] = std::move(conn);
+  loop.loop.Add(fd, EPOLLIN, [this, &loop, raw](std::uint32_t events) {
+    HandleEvents(loop, *raw, events);
+  });
+}
+
+void Server::HandleEvents(Loop& loop, Connection& conn, std::uint32_t events) {
+  const int fd = conn.fd();
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConnection(loop, fd);
+    return;
+  }
+  bool open = true;
+  if ((events & EPOLLIN) != 0) {
+    open = conn.OnReadable() != IoStatus::kClosed;
+  }
+  // Respond (or flush backlog) regardless of which event fired.
+  const IoStatus wrote = conn.FlushOutput();
+  if (wrote == IoStatus::kClosed) {
+    CloseConnection(loop, fd);
+    return;
+  }
+  if (!open || (conn.closing() && !conn.wants_write())) {
+    CloseConnection(loop, fd);
+    return;
+  }
+  // Keep EPOLLOUT armed exactly while a backlog exists.
+  loop.loop.Mod(fd, conn.wants_write() ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void Server::CloseConnection(Loop& loop, int fd) {
+  loop.loop.Del(fd);
+  loop.conns.erase(fd);  // destroys the Connection, closing the fd
+  curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace pamakv::net

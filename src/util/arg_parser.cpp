@@ -1,9 +1,22 @@
 #include "pamakv/util/arg_parser.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <ostream>
 #include <stdexcept>
 
 namespace pamakv {
+
+namespace {
+
+[[noreturn]] void BadValue(const std::string& name, const std::string& value,
+                           const char* expected) {
+  throw std::runtime_error("--" + name + "=" + value + ": expected " +
+                           expected);
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -47,19 +60,55 @@ std::int64_t ArgParser::GetInt(const std::string& name,
                                std::int64_t fallback) const {
   const auto v = Find(name);
   if (!v) return fallback;
-  return std::stoll(*v);
+  std::int64_t out = 0;
+  const char* first = v->data();
+  const char* last = first + v->size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  // Partial consumption means trailing junk (the old std::stoll silently
+  // truncated "80x0" to 80); an empty/invalid value must not silently
+  // become the fallback either.
+  if (ec != std::errc{} || ptr != last || first == last) {
+    BadValue(name, *v, "an integer");
+  }
+  return out;
 }
 
 double ArgParser::GetDouble(const std::string& name, double fallback) const {
   const auto v = Find(name);
   if (!v) return fallback;
-  return std::stod(*v);
+  const char* begin = v->c_str();
+  char* end = nullptr;
+  const double out = std::strtod(begin, &end);
+  if (v->empty() || end != begin + v->size()) {
+    BadValue(name, *v, "a number");
+  }
+  return out;
 }
 
 bool ArgParser::GetBool(const std::string& name, bool fallback) const {
   const auto v = Find(name);
   if (!v) return fallback;
   return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+ArgParser& ArgParser::Describe(std::string flag, std::string help) {
+  help_.emplace_back(std::move(flag), std::move(help));
+  return *this;
+}
+
+void ArgParser::PrintHelp(std::ostream& out, const std::string& program,
+                          const std::string& summary) const {
+  out << program << " — " << summary << "\n\nusage: " << program
+      << " [--flag=value ...]\n\nflags:\n";
+  std::size_t width = 4;  // room for "help"
+  for (const auto& [flag, _] : help_) width = std::max(width, flag.size());
+  for (const auto& [flag, text] : help_) {
+    out << "  --" << flag << std::string(width - flag.size() + 2, ' ') << text
+        << "\n";
+  }
+  out << "  --help" << std::string(width - 4 + 2, ' ')
+      << "print this message and exit\n";
 }
 
 double BenchScaleFromEnv(double fallback) {

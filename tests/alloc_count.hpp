@@ -1,0 +1,14 @@
+// Heap-allocation counter shared by the zero-allocation tests
+// (engine_alloc_test, net_alloc_test). alloc_count.cpp overrides the
+// global operator new/delete for the whole test binary — they forward to
+// malloc, so behavior is unchanged; every `new` bumps the counter.
+#pragma once
+
+#include <cstdint>
+
+namespace pamakv::test {
+
+/// Number of operator-new calls in this binary so far.
+[[nodiscard]] std::uint64_t AllocationCount() noexcept;
+
+}  // namespace pamakv::test

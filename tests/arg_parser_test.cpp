@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
 namespace pamakv {
 namespace {
 
@@ -48,6 +52,63 @@ TEST(ArgParserTest, HasDetectsPresence) {
   const auto p = Parse({"--a=1"});
   EXPECT_TRUE(p.Has("a"));
   EXPECT_FALSE(p.Has("b"));
+}
+
+TEST(ArgParserTest, MalformedIntThrowsNamingTheFlag) {
+  const auto p = Parse({"--port=80x0", "--empty=", "--word=abc",
+                        "--trail=12 ", "--plus=+5"});
+  EXPECT_EQ(p.GetInt("absent", 7), 7);  // absent flag still falls back
+  for (const char* flag : {"port", "empty", "word", "trail"}) {
+    try {
+      (void)p.GetInt(flag, 0);
+      FAIL() << "--" << flag << " accepted";
+    } catch (const std::runtime_error& e) {
+      // The message must name the offending flag so the user can fix it.
+      EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+          << e.what();
+    }
+  }
+  // A leading '+' is accepted (common shell habit); value still strict.
+  EXPECT_EQ(p.GetInt("plus", 0), 5);
+}
+
+TEST(ArgParserTest, NegativeAndBoundaryIntsParse) {
+  const auto p = Parse({"--a=-42", "--b=0", "--c=9223372036854775807"});
+  EXPECT_EQ(p.GetInt("a", 0), -42);
+  EXPECT_EQ(p.GetInt("b", 1), 0);
+  EXPECT_EQ(p.GetInt("c", 0), INT64_MAX);
+}
+
+TEST(ArgParserTest, MalformedDoubleThrowsNamingTheFlag) {
+  const auto p = Parse({"--alpha=1.5x", "--beta=", "--gamma=nope"});
+  for (const char* flag : {"alpha", "beta", "gamma"}) {
+    try {
+      (void)p.GetDouble(flag, 0.0);
+      FAIL() << "--" << flag << " accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+          << e.what();
+    }
+  }
+  const auto ok = Parse({"--x=2.5e3", "--y=-0.25"});
+  EXPECT_DOUBLE_EQ(ok.GetDouble("x", 0.0), 2500.0);
+  EXPECT_DOUBLE_EQ(ok.GetDouble("y", 0.0), -0.25);
+}
+
+TEST(ArgParserTest, HelpRequestedAndPrintHelp) {
+  auto p = Parse({"--help"});
+  EXPECT_TRUE(p.HelpRequested());
+  EXPECT_FALSE(Parse({"--port=1"}).HelpRequested());
+
+  p.Describe("port", "listen port").Describe("shards", "engine count");
+  std::ostringstream out;
+  p.PrintHelp(out, "pamakv-server", "memcached-protocol cache server");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pamakv-server"), std::string::npos);
+  EXPECT_NE(text.find("--port"), std::string::npos);
+  EXPECT_NE(text.find("listen port"), std::string::npos);
+  EXPECT_NE(text.find("--shards"), std::string::npos);
+  EXPECT_NE(text.find("--help"), std::string::npos);  // auto-appended
 }
 
 TEST(BenchScaleTest, FallsBackWhenUnsetOrInvalid) {

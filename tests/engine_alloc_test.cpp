@@ -4,35 +4,17 @@
 // the heap. Guards against regressions like the node-allocating
 // std::unordered_map the ghost lists used to carry.
 //
-// The global operator new/delete overrides below count every allocation in
-// this test binary; they forward to malloc, so behavior is unchanged.
+// Allocation counting lives in alloc_count.cpp (shared with
+// net_alloc_test, which extends the same discipline to the server's
+// connection path).
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstdint>
-#include <cstdlib>
-#include <new>
 
+#include "alloc_count.hpp"
 #include "pamakv/sim/experiment.hpp"
 #include "pamakv/util/rng.hpp"
-
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pamakv {
 namespace {
@@ -58,10 +40,10 @@ TEST(EngineAllocationTest, SteadyStateGetSetIsAllocationFree) {
   // node pools and index stop growing.
   Drive(*engine, rng, 400'000);
 
-  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t before = test::AllocationCount();
   Drive(*engine, rng, 100'000);
   const std::uint64_t during =
-      g_allocations.load(std::memory_order_relaxed) - before;
+      test::AllocationCount() - before;
   EXPECT_EQ(during, 0u)
       << "steady-state Get/Set allocated " << during << " times";
 }
@@ -73,11 +55,11 @@ TEST(EngineAllocationTest, PamaAllocatesPerWindowNotPerRequest) {
   Rng rng(11);
   Drive(*engine, rng, 400'000);
 
-  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t before = test::AllocationCount();
   constexpr std::uint64_t kRequests = 100'000;
   Drive(*engine, rng, kRequests);
   const std::uint64_t during =
-      g_allocations.load(std::memory_order_relaxed) - before;
+      test::AllocationCount() - before;
   EXPECT_LT(during, kRequests / 100)
       << "PAMA hot path allocated " << during << " times in " << kRequests
       << " requests";

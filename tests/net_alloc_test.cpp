@@ -1,0 +1,84 @@
+// Extends the zero-allocation discipline from engine_alloc_test to the
+// server's request path: once a connection and the service behind it are
+// warm, the full read→parse→execute→respond cycle must not touch the heap.
+// The connection reuses its rx/tx buffers, the parser works in string_views
+// over the rx buffer, and CacheService recycles entry slots (tombstones are
+// overwritten in place, never erased), so replaying a fixed request mix
+// allocates nothing.
+//
+// Requests are prepared as byte streams before the measured window (building
+// std::strings allocates, the connection must not).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc_count.hpp"
+#include "pamakv/net/cache_service.hpp"
+#include "pamakv/net/connection.hpp"
+#include "pamakv/sim/experiment.hpp"
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv::net {
+namespace {
+
+TEST(NetAllocationTest, SteadyStateConnectionIsAllocationFree) {
+  CacheServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.capacity_bytes = 2ULL * 1024 * 1024;
+  CacheService service(cfg, [](Bytes bytes) {
+    return MakeEngine("memcached", bytes, SizeClassConfig{});
+  });
+  Connection conn(service);
+
+  // A fixed batch set over a fixed key space: the measured window replays
+  // exactly the bytes the warmup ran, so no new map nodes, no buffer
+  // high-water growth, no first-touch slab grabs can occur inside it.
+  constexpr std::uint64_t kKeySpace = 8'192;
+  Rng rng(3);
+  std::vector<std::string> batches;
+  std::string value;
+  for (int b = 0; b < 64; ++b) {
+    std::string stream;
+    for (int op = 0; op < 32; ++op) {
+      const std::uint64_t k = rng.NextBounded(kKeySpace);
+      const std::string key = "key:" + std::to_string(k);
+      if (rng.NextDouble() < 0.4) {
+        const Bytes size = 64 + (Mix64(k) & 511);
+        value.assign(size, static_cast<char>('a' + k % 26));
+        stream += "set " + key + " 1000 0 " + std::to_string(size) + "\r\n" +
+                  value + "\r\n";
+      } else if (rng.NextDouble() < 0.05) {
+        stream += "stats\r\n";
+      } else {
+        stream += (rng.NextDouble() < 0.5 ? "gets " : "get ") + key + "\r\n";
+      }
+    }
+    batches.push_back(std::move(stream));
+  }
+
+  const auto drive = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (const std::string& stream : batches) {
+        ASSERT_TRUE(conn.Ingest(stream.data(), stream.size()));
+        conn.ConsumeOutput(conn.pending_output().size());
+      }
+    }
+  };
+
+  // Warm until everything saturates: engine slab pools and ghost lists at
+  // their structural maxima (the key space oversubscribes 2 MiB), every key
+  // has an entry slot with sufficient string capacity, rx/tx at high water.
+  drive(50);
+
+  const std::uint64_t before = test::AllocationCount();
+  drive(5);
+  const std::uint64_t during = test::AllocationCount() - before;
+  EXPECT_EQ(during, 0u)
+      << "steady-state connection handling allocated " << during << " times";
+}
+
+}  // namespace
+}  // namespace pamakv::net

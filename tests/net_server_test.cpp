@@ -1,0 +1,225 @@
+// In-process integration tests: a real Server on an ephemeral port, a real
+// BlockingClient over TCP. The client implements the protocol independently
+// of the server's parser so the two ends of the wire don't share bugs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pamakv/net/cache_service.hpp"
+#include "pamakv/net/client.hpp"
+#include "pamakv/net/server.hpp"
+#include "pamakv/sim/experiment.hpp"
+
+namespace pamakv::net {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  /// Starts a server on an ephemeral port over `scheme` engines.
+  void StartServer(const std::string& scheme = "memcached",
+                   std::size_t threads = 1, std::size_t shards = 2) {
+    CacheServiceConfig cfg;
+    cfg.shards = shards;
+    cfg.capacity_bytes = 16ULL * 1024 * 1024;
+    service_ = std::make_unique<CacheService>(cfg, [&](Bytes bytes) {
+      return MakeEngine(scheme, bytes, SizeClassConfig{});
+    });
+    ServerConfig scfg;
+    scfg.port = 0;  // ephemeral
+    scfg.threads = threads;
+    server_ = std::make_unique<Server>(scfg, *service_);
+    server_->Start();
+  }
+
+  BlockingClient Connect() {
+    BlockingClient client;
+    client.Connect("127.0.0.1", server_->port());
+    return client;
+  }
+
+  static std::uint64_t Stat(
+      const std::vector<std::pair<std::string, std::uint64_t>>& stats,
+      const std::string& name) {
+    for (const auto& [k, v] : stats) {
+      if (k == name) return v;
+    }
+    ADD_FAILURE() << "stat " << name << " missing";
+    return 0;
+  }
+
+  std::unique_ptr<CacheService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, SetGetDeleteRoundTrip) {
+  StartServer();
+  auto client = Connect();
+
+  // Miss on a cold key.
+  std::string value;
+  EXPECT_FALSE(client.Get("alpha", value));
+
+  // Store and read back; flags carry the miss penalty and must echo.
+  ASSERT_TRUE(client.Set("alpha", 2'500, "hello world"));
+  std::uint32_t flags = 0;
+  ASSERT_TRUE(client.Get("alpha", value, &flags));
+  EXPECT_EQ(value, "hello world");
+  EXPECT_EQ(flags, 2'500u);
+
+  // Overwrite changes the value in place.
+  ASSERT_TRUE(client.Set("alpha", 2'500, "second"));
+  ASSERT_TRUE(client.Get("alpha", value));
+  EXPECT_EQ(value, "second");
+
+  // Delete, then the key misses again.
+  EXPECT_TRUE(client.Delete("alpha"));
+  EXPECT_FALSE(client.Delete("alpha"));
+  EXPECT_FALSE(client.Get("alpha", value));
+}
+
+TEST_F(ServerTest, BinaryValuesSurviveTheWire) {
+  StartServer();
+  auto client = Connect();
+  const std::string value("\r\nEND\r\nVALUE x 0 0\r\n\0\xff", 22);
+  ASSERT_TRUE(client.Set("bin", 0, value));
+  std::string got;
+  ASSERT_TRUE(client.Get("bin", got));
+  EXPECT_EQ(got, value);
+}
+
+TEST_F(ServerTest, MultiGetAndCas) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("a", 1, "one"));
+  ASSERT_TRUE(client.Set("b", 2, "two"));
+
+  // Multi-get returns hits in request order, silently skips misses.
+  client.SendRaw("get a miss b\r\n");
+  EXPECT_EQ(client.ReadLine(), "VALUE a 1 3");
+  EXPECT_EQ(client.ReadLine(), "one");
+  EXPECT_EQ(client.ReadLine(), "VALUE b 2 3");
+  EXPECT_EQ(client.ReadLine(), "two");
+  EXPECT_EQ(client.ReadLine(), "END");
+
+  // gets includes a CAS stamp that changes on overwrite.
+  client.SendRaw("gets a\r\n");
+  const std::string first = client.ReadLine();
+  ASSERT_TRUE(first.rfind("VALUE a 1 3 ", 0) == 0) << first;
+  client.ReadLine();  // value
+  EXPECT_EQ(client.ReadLine(), "END");
+  ASSERT_TRUE(client.Set("a", 1, "ONE"));
+  client.SendRaw("gets a\r\n");
+  const std::string second = client.ReadLine();
+  client.ReadLine();
+  EXPECT_EQ(client.ReadLine(), "END");
+  EXPECT_NE(first, second);
+}
+
+TEST_F(ServerTest, StatsMatchServiceTotals) {
+  StartServer("pama");
+  auto client = Connect();
+
+  ASSERT_TRUE(client.Set("x", 10'000, "xxxx"));
+  ASSERT_TRUE(client.Set("y", 100'000, "yyyyyyyy"));
+  std::string value;
+  EXPECT_TRUE(client.Get("x", value));
+  EXPECT_TRUE(client.Get("y", value));
+  EXPECT_FALSE(client.Get("z", value));
+  EXPECT_TRUE(client.Delete("y"));
+
+  const auto stats = client.Stats();
+  const CacheStats totals = service_->TotalStats();
+  EXPECT_EQ(Stat(stats, "cmd_get"), totals.gets);
+  EXPECT_EQ(Stat(stats, "cmd_set"), totals.sets);
+  EXPECT_EQ(Stat(stats, "get_hits"), totals.get_hits);
+  EXPECT_EQ(Stat(stats, "get_misses"), totals.get_misses);
+  EXPECT_EQ(Stat(stats, "bytes"), totals.bytes_stored);
+  EXPECT_EQ(Stat(stats, "evictions"), totals.evictions);
+  EXPECT_EQ(Stat(stats, "curr_items"), service_->ItemCount());
+  EXPECT_EQ(Stat(stats, "shards"), service_->shard_count());
+  EXPECT_EQ(Stat(stats, "hash_collisions_resolved"), 0u);
+
+  // The wire numbers reconcile with themselves too.
+  EXPECT_EQ(Stat(stats, "cmd_get"), 3u);
+  EXPECT_EQ(Stat(stats, "get_hits"), 2u);
+  EXPECT_EQ(Stat(stats, "get_misses"), 1u);
+  EXPECT_EQ(Stat(stats, "curr_items"), 1u);  // x remains
+}
+
+TEST_F(ServerTest, FlushAllVersionQuit) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("k1", 0, "v1"));
+  ASSERT_TRUE(client.Set("k2", 0, "v2"));
+  EXPECT_EQ(service_->ItemCount(), 2u);
+  client.FlushAll();
+  EXPECT_EQ(service_->ItemCount(), 0u);
+  std::string value;
+  EXPECT_FALSE(client.Get("k1", value));
+
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+
+  client.SendRaw("quit\r\n");
+  // The server closes; the next read hits EOF.
+  EXPECT_THROW(client.ReadLine(), std::exception);
+}
+
+TEST_F(ServerTest, NoreplySetIsSilent) {
+  StartServer();
+  auto client = Connect();
+  client.SendRaw("set quiet 7 0 2 noreply\r\nqq\r\nget quiet\r\n");
+  // No STORED line: the first thing back is the VALUE block.
+  EXPECT_EQ(client.ReadLine(), "VALUE quiet 7 2");
+  EXPECT_EQ(client.ReadLine(), "qq");
+  EXPECT_EQ(client.ReadLine(), "END");
+}
+
+TEST_F(ServerTest, ManyConnectionsAcrossLoopThreads) {
+  StartServer("pama", /*threads=*/2, /*shards=*/4);
+  constexpr int kClients = 8;
+  constexpr int kOpsPerClient = 300;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([this, c] {
+      auto client = Connect();
+      std::string value;
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::string key =
+            "k:" + std::to_string(c) + ":" + std::to_string(i % 50);
+        if (!client.Get(key, value)) {
+          ASSERT_TRUE(client.Set(key, 1'000, "payload-" + key));
+        } else {
+          ASSERT_EQ(value, "payload-" + key);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(server_->total_connections(), kClients);
+  const CacheStats totals = service_->TotalStats();
+  EXPECT_EQ(totals.gets, kClients * kOpsPerClient);
+  EXPECT_EQ(totals.get_hits + totals.get_misses, totals.gets);
+  // 50 distinct keys per client, all re-hit after first touch.
+  EXPECT_EQ(totals.get_misses, kClients * 50u);
+}
+
+TEST_F(ServerTest, ServerSurvivesAbruptDisconnect) {
+  StartServer();
+  {
+    auto client = Connect();
+    client.SendRaw("set dangling 0 0 100\r\n");  // half a command, then gone
+  }
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("after", 0, "ok"));
+  std::string value;
+  ASSERT_TRUE(client.Get("after", value));
+  EXPECT_EQ(value, "ok");
+}
+
+}  // namespace
+}  // namespace pamakv::net

@@ -63,6 +63,63 @@ TEST(StringKeyTest, UpdatesKeepOneCopy) {
   EXPECT_TRUE(cache.Get("k", 128, 2000).hit);
 }
 
+TEST(StringKeyTest, DelThenReinsertRoundTrip) {
+  auto cache = MakeCache();
+  ASSERT_TRUE(cache.Set("churn", 64, 1000).stored);
+  ASSERT_TRUE(cache.Del("churn"));
+  EXPECT_FALSE(cache.Contains("churn"));
+  // Reinsert after delete must behave like a fresh store, not an update.
+  const auto r = cache.Set("churn", 128, 2000);
+  ASSERT_TRUE(r.stored);
+  EXPECT_FALSE(r.updated);
+  EXPECT_TRUE(cache.Get("churn", 128, 2000).hit);
+  EXPECT_EQ(cache.engine().item_count(), 1u);
+  EXPECT_EQ(cache.collisions_resolved(), 0u);
+}
+
+// Real 64-bit collisions are astronomically unlikely, so the collision
+// path is exercised by planting an entry directly in the engine under the
+// id that a string hashes to, without registering the string in the
+// verification table — exactly the state a collision would produce (the
+// id is occupied by a key whose stored name doesn't match).
+TEST(StringKeyTest, GetResolvesCollisionAsMissAndDropsSquatter) {
+  auto cache = MakeCache();
+  const KeyId id = HashStringKey("victim");
+  ASSERT_TRUE(cache.engine().Set(id, 64, 1000).stored);
+  ASSERT_TRUE(cache.engine().Contains(id));
+
+  // The squatter must not be served as a hit for "victim".
+  EXPECT_FALSE(cache.Get("victim", 64, 1000).hit);
+  EXPECT_EQ(cache.collisions_resolved(), 1u);
+  // ...and it is gone: the id is free for the verified owner.
+  EXPECT_FALSE(cache.engine().Contains(id));
+  ASSERT_TRUE(cache.Set("victim", 64, 1000).stored);
+  EXPECT_TRUE(cache.Get("victim", 64, 1000).hit);
+  EXPECT_EQ(cache.collisions_resolved(), 1u);  // no further collisions
+}
+
+TEST(StringKeyTest, DelRefusesToRemoveCollidingStranger) {
+  auto cache = MakeCache();
+  const KeyId id = HashStringKey("victim");
+  ASSERT_TRUE(cache.engine().Set(id, 64, 1000).stored);
+
+  // DEL of a name whose id is occupied by someone else must not remove
+  // that someone else's entry.
+  EXPECT_FALSE(cache.Del("victim"));
+  EXPECT_TRUE(cache.engine().Contains(id));
+}
+
+TEST(StringKeyTest, SetResolvesCollisionThenOwnsTheId) {
+  auto cache = MakeCache();
+  const KeyId id = HashStringKey("victim");
+  ASSERT_TRUE(cache.engine().Set(id, 64, 1000).stored);
+
+  ASSERT_TRUE(cache.Set("victim", 96, 2000).stored);
+  EXPECT_EQ(cache.collisions_resolved(), 1u);
+  EXPECT_TRUE(cache.Contains("victim"));
+  EXPECT_EQ(cache.engine().item_count(), 1u);
+}
+
 TEST(StringKeyTest, StatsFlowThrough) {
   auto cache = MakeCache();
   cache.Set("x", 64, 1000);
