@@ -48,6 +48,7 @@ struct RunResult {
   double p99_us = 0.0;
   double max_us = 0.0;
   double hit_ratio = 0.0;
+  std::uint64_t errors = 0;  ///< connection-level ClientErrors survived
 };
 
 struct WorkerConfig {
@@ -89,22 +90,34 @@ void Worker(const WorkerConfig& cfg, const ZipfSampler& zipf,
       key.append(std::to_string(k));
       const bool blind_set = rng.NextDouble() < cfg.set_ratio;
       const auto start = std::chrono::steady_clock::now();
-      if (blind_set) {
-        MakeValue(value, k);
-        client.Set(key, PenaltyOf(k), value);
-        if (measure) ++out.sets;
-      } else {
-        if (measure) ++out.gets;
-        const bool hit = client.Get(key, fetched);
-        if (hit) {
-          if (measure) ++out.get_hits;
-        } else {
-          // Write-allocate: a miss is immediately followed by a SET of
-          // the same key, as the paper assumes.
+      try {
+        if (blind_set) {
           MakeValue(value, k);
           client.Set(key, PenaltyOf(k), value);
           if (measure) ++out.sets;
+        } else {
+          if (measure) ++out.gets;
+          const bool hit = client.Get(key, fetched);
+          if (hit) {
+            if (measure) ++out.get_hits;
+          } else {
+            // Write-allocate: a miss is immediately followed by a SET of
+            // the same key, as the paper assumes.
+            MakeValue(value, k);
+            client.Set(key, PenaltyOf(k), value);
+            if (measure) ++out.sets;
+          }
         }
+      } catch (const net::ClientError& e) {
+        // Connection-level errors (idle reap, max-conns shed, drain,
+        // reset) are a survivable part of measuring a server with
+        // lifecycle limits on: reconnect and keep driving. A protocol
+        // error means one end has a bug — that must surface.
+        if (e.kind() == net::ClientError::Kind::kProtocol) throw;
+        if (measure) ++out.errors;
+        client.Close();
+        client.Connect(cfg.host, cfg.port);
+        continue;
       }
       if (measure) {
         const auto end = std::chrono::steady_clock::now();
@@ -143,6 +156,7 @@ RunResult Measure(const WorkerConfig& base, std::size_t connections,
     result.gets += partial[c].gets;
     result.get_hits += partial[c].get_hits;
     result.sets += partial[c].sets;
+    result.errors += partial[c].errors;
     all.insert(all.end(), latencies[c].begin(), latencies[c].end());
   }
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
@@ -161,14 +175,15 @@ RunResult Measure(const WorkerConfig& base, std::size_t connections,
 
 void WriteCsv(std::ostream& out, const std::vector<RunResult>& rows) {
   out << "connections,ops,wall_seconds,kops,p50_us,p99_us,max_us,"
-         "hit_ratio,sets\n";
+         "hit_ratio,sets,errors\n";
   for (const auto& r : rows) {
     char line[256];
     std::snprintf(line, sizeof line,
-                  "%zu,%llu,%.4f,%.2f,%.1f,%.1f,%.1f,%.4f,%llu\n",
+                  "%zu,%llu,%.4f,%.2f,%.1f,%.1f,%.1f,%.4f,%llu,%llu\n",
                   r.connections, static_cast<unsigned long long>(r.ops),
                   r.wall_seconds, r.kops, r.p50_us, r.p99_us, r.max_us,
-                  r.hit_ratio, static_cast<unsigned long long>(r.sets));
+                  r.hit_ratio, static_cast<unsigned long long>(r.sets),
+                  static_cast<unsigned long long>(r.errors));
     out << line;
   }
 }
@@ -194,10 +209,11 @@ void WriteJson(std::ostream& out, const std::string& host, std::uint16_t port,
                   "    {\"connections\": %zu, \"ops\": %llu, "
                   "\"wall_seconds\": %.4f, \"kops\": %.2f, "
                   "\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, "
-                  "\"hit_ratio\": %.4f}%s\n",
+                  "\"hit_ratio\": %.4f, \"errors\": %llu}%s\n",
                   r.connections, static_cast<unsigned long long>(r.ops),
                   r.wall_seconds, r.kops, r.p50_us, r.p99_us, r.max_us,
-                  r.hit_ratio, i + 1 < rows.size() ? "," : "");
+                  r.hit_ratio, static_cast<unsigned long long>(r.errors),
+                  i + 1 < rows.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -265,9 +281,10 @@ int Main(int argc, char** argv) {
     const RunResult& r = rows.back();
     std::fprintf(stderr,
                  "# conns=%zu %8.1f kops/s p50=%.0fus p99=%.0fus "
-                 "hit=%.3f wall=%.2fs\n",
+                 "hit=%.3f wall=%.2fs errors=%llu\n",
                  r.connections, r.kops, r.p50_us, r.p99_us, r.hit_ratio,
-                 r.wall_seconds);
+                 r.wall_seconds,
+                 static_cast<unsigned long long>(r.errors));
   }
 
   const auto json_path = std::filesystem::path(root) / "BENCH_server.json";

@@ -71,8 +71,14 @@ class CacheService {
   std::uint64_t FlushAll();
 
   /// Appends the full "STAT name value\r\n"* + "END\r\n" payload for the
-  /// `stats` command: CacheStats::Snapshot() totals plus service gauges.
+  /// `stats` command: CacheStats::Snapshot() totals plus service gauges
+  /// and, when registered, the extra appender's lines (the Server wires
+  /// its connection/lifecycle counters in here).
   void AppendStats(std::vector<char>& out) const;
+
+  /// Registers (or clears, with nullptr) an extra "STAT ..." appender run
+  /// inside AppendStats before the END line. Thread-safe.
+  void SetExtraStats(std::function<void(std::vector<char>&)> appender);
 
   /// Aggregated engine stats across shards (locks each shard briefly).
   [[nodiscard]] CacheStats TotalStats() const;
@@ -116,6 +122,9 @@ class CacheService {
   std::vector<std::unique_ptr<Shard>> shards_;
   MicroSecs default_penalty_us_;
   Bytes default_size_;
+
+  mutable std::mutex extra_stats_mu_;
+  std::function<void(std::vector<char>&)> extra_stats_;
 };
 
 }  // namespace pamakv::net

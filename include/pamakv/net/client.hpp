@@ -8,12 +8,35 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace pamakv::net {
+
+/// Typed failure surfaced by BlockingClient, so callers (soak tests, the
+/// load generator) can tell an orderly close from a reset from a protocol
+/// violation — instead of pattern-matching what() strings.
+class ClientError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kConnectionClosed,  ///< orderly EOF between responses
+    kConnectionReset,   ///< ECONNRESET/EPIPE mid-operation
+    kShortRead,         ///< EOF with a partial response buffered
+    kProtocol,          ///< the response violated the protocol
+    kServerError,       ///< the server answered "SERVER_ERROR <msg>"
+  };
+
+  ClientError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 class BlockingClient {
  public:
@@ -47,11 +70,18 @@ class BlockingClient {
   void SendRaw(std::string_view data);
   /// Reads one CRLF-terminated line (returned without the CRLF).
   std::string ReadLine();
+  /// Reads exactly n bytes into out; throws ClientError(kShortRead) when
+  /// the connection ends first.
+  void ReadExact(std::string& out, std::size_t n);
 
  private:
-  void ReadMore();
-  /// Reads exactly n bytes into out.
-  void ReadExact(std::string& out, std::size_t n);
+  /// Pulls more bytes into rxbuf_. Returns false on EOF; throws
+  /// ClientError(kConnectionReset) on a reset, std::system_error on other
+  /// socket failures.
+  bool ReadMore();
+  /// Throws ClientError(kServerError) when `line` is a SERVER_ERROR
+  /// response; returns `line` otherwise.
+  const std::string& CheckServerError(const std::string& line);
 
   int fd_ = -1;
   std::string rxbuf_;

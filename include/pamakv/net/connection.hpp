@@ -55,15 +55,61 @@ class Connection {
 
   // ---- socket plumbing (fd >= 0 only) ----
   [[nodiscard]] int fd() const noexcept { return fd_; }
-  /// Reads until EAGAIN/EOF, ingesting as it goes.
+  /// Reads until EAGAIN/EOF, ingesting as it goes. Stops early (returns
+  /// kOk, bytes left in the kernel buffer) once the tx backlog reaches
+  /// the pause threshold — backpressure starts inside a single read
+  /// burst, not only between epoll rounds.
   IoStatus OnReadable();
   /// Writes pending output until EAGAIN or drained.
   IoStatus FlushOutput();
   [[nodiscard]] bool wants_write() const noexcept {
     return tx_head_ < tx_.size();
   }
+  /// Unsent response bytes (the backpressure watermark input).
+  [[nodiscard]] std::size_t tx_backlog() const noexcept {
+    return tx_.size() - tx_head_;
+  }
   /// True once Ingest decided the connection should close.
   [[nodiscard]] bool closing() const noexcept { return closing_; }
+
+  // ---- lifecycle state (owned by the serving loop; see server.cpp) ----
+  /// A request is in flight: a partial command line, a set awaiting its
+  /// payload, or an oversized payload still being swallowed.
+  [[nodiscard]] bool mid_request() const noexcept {
+    return awaiting_data_ || discard_remaining_ > 0 || rx_head_ < rx_.size();
+  }
+  /// Records I/O activity at `now_ns` and tracks when the current
+  /// in-flight request started (-1 when none is in flight; 0 is a valid
+  /// timestamp under an injected clock).
+  void Touch(std::int64_t now_ns) noexcept {
+    last_activity_ns_ = now_ns;
+    if (mid_request()) {
+      if (request_start_ns_ < 0) request_start_ns_ = now_ns;
+    } else {
+      request_start_ns_ = -1;
+    }
+  }
+  [[nodiscard]] std::int64_t last_activity_ns() const noexcept {
+    return last_activity_ns_;
+  }
+  [[nodiscard]] std::int64_t request_start_ns() const noexcept {
+    return request_start_ns_;
+  }
+
+  /// Backpressure: while paused the loop deregisters EPOLLIN and
+  /// OnReadable refuses to ingest more, until the backlog drains below
+  /// the low-water mark.
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+  void set_paused(bool paused) noexcept { paused_ = paused; }
+  /// tx backlog at which OnReadable stops pulling bytes (0 = never).
+  void set_pause_threshold(std::size_t bytes) noexcept {
+    pause_threshold_ = bytes;
+  }
+
+  /// Scratch slots for the serving loop's per-connection lifecycle timer
+  /// (the Connection itself never touches the loop).
+  std::uint64_t lifecycle_timer = 0;
+  std::int64_t armed_deadline_ns = 0;
 
  private:
   /// Consumes as many complete commands as the buffer holds.
@@ -95,6 +141,11 @@ class Connection {
   /// Oversized set: swallow this many raw bytes without buffering them.
   std::uint64_t discard_remaining_ = 0;
   bool closing_ = false;
+
+  std::int64_t last_activity_ns_ = 0;
+  std::int64_t request_start_ns_ = -1;  ///< -1: no request in flight
+  bool paused_ = false;
+  std::size_t pause_threshold_ = 0;
 };
 
 }  // namespace pamakv::net

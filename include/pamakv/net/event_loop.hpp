@@ -1,4 +1,4 @@
-// EventLoop: a minimal epoll reactor.
+// EventLoop: a minimal epoll reactor with monotonic timers.
 //
 // One loop runs on one thread. File descriptors are registered with a
 // callback invoked with the ready-event mask; Post() marshals a closure
@@ -7,9 +7,17 @@
 // bookkeeping is only touched from the loop thread, so handlers need no
 // locks of their own; destruction of a handler that is mid-dispatch is
 // deferred to the end of the dispatch round.
+//
+// Timers are one-shot (re-arm from inside the callback for periodic
+// behavior), ordered by deadline then arm order, and kept in a min-heap
+// with lazy cancellation. Time is read through an injectable util::Clock:
+// under the default SteadyClock the epoll_wait timeout makes timers fire
+// on real time; under a FakeClock the loop parks until the clock's wake
+// hook interrupts it, so tests drive every timer path by Advance() alone.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -18,13 +26,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pamakv/util/clock.hpp"
+
 namespace pamakv::net {
+
+/// Handle for cancelling a pending timer. 0 is never issued.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
 
 class EventLoop {
  public:
   using Handler = std::function<void(std::uint32_t events)>;
 
-  EventLoop();
+  explicit EventLoop(util::Clock& clock = util::SteadyClock::Instance());
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -40,6 +54,22 @@ class EventLoop {
   /// close the fd. Loop thread only.
   void Del(int fd);
 
+  /// Schedules `cb` to run on the loop thread once `delay` has elapsed on
+  /// the loop's clock. One-shot; re-arming from inside the callback is
+  /// supported (a re-arm with zero delay fires on the next round, never
+  /// in the same one). Loop thread only (use Post from other threads).
+  TimerId RunAfter(std::chrono::nanoseconds delay, std::function<void()> cb);
+  /// Cancels a pending timer. Returns false when `id` already fired or
+  /// was already cancelled. Loop thread only.
+  bool Cancel(TimerId id);
+  /// Pending (armed, not yet fired/cancelled) timers. Loop thread only.
+  [[nodiscard]] std::size_t pending_timers() const noexcept {
+    return timers_.size();
+  }
+
+  /// The clock this loop schedules against.
+  [[nodiscard]] util::Clock& clock() const noexcept { return *clock_; }
+
   /// Runs a closure on the loop thread (immediately when already on it).
   /// Thread-safe.
   void Post(std::function<void()> fn);
@@ -53,7 +83,17 @@ class EventLoop {
  private:
   void Wake();
   void DrainPosted();
+  void FireExpiredTimers();
+  /// epoll_wait timeout (ms) until the nearest timer deadline; -1 when no
+  /// timer is armed.
+  [[nodiscard]] int NextTimeoutMs();
 
+  struct TimerEntry {
+    std::int64_t deadline_ns;
+    std::function<void()> cb;
+  };
+
+  util::Clock* clock_;
   int epoll_fd_;
   int wake_fd_;
   std::atomic<bool> running_{false};
@@ -62,6 +102,13 @@ class EventLoop {
   std::unordered_map<int, std::unique_ptr<Handler>> handlers_;
   /// Handlers removed during dispatch live here until the round ends.
   std::vector<std::unique_ptr<Handler>> graveyard_;
+
+  /// Armed timers by id; the heap holds (deadline, id) pairs and is
+  /// pruned lazily — a cancelled id is simply absent from the map when
+  /// popped. Equal deadlines fire in arm order because ids ascend.
+  std::unordered_map<TimerId, TimerEntry> timers_;
+  std::vector<std::pair<std::int64_t, TimerId>> timer_heap_;
+  TimerId next_timer_id_ = 1;
 
   std::mutex posted_mu_;
   std::vector<std::function<void()>> posted_;

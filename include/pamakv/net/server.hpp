@@ -7,9 +7,29 @@
 // shard the key routes to. Start() with port 0 binds an ephemeral port —
 // port() reports the real one, which is how the in-process integration
 // tests run against real sockets without fixed-port collisions.
+//
+// Connection lifecycle (all knobs in ServerConfig, all off by default
+// except backpressure; every behavior is exercised under a FakeClock in
+// tests/net_server_test.cpp):
+//
+//  * accept limits — at max_conns the acceptor sheds the new socket with
+//    "SERVER_ERROR too many connections" before closing it;
+//  * idle reaping — a per-connection timer closes a connection exactly
+//    idle_timeout_ms after its last I/O activity;
+//  * request deadline — a connection mid-request (partial command line or
+//    a set awaiting payload) is closed request_timeout_ms after the
+//    request's first byte, so a stalled sender cannot pin buffers;
+//  * tx backpressure — once the unsent response backlog reaches
+//    tx_pause_bytes the loop stops reading the client (EPOLLIN off) until
+//    it drains to tx_resume_bytes; a backlog above tx_cap_bytes
+//    hard-closes the connection;
+//  * graceful drain — Shutdown(grace) stops accepting, lets in-flight
+//    requests complete and tx buffers flush, then force-closes whatever
+//    remains when the grace deadline (on the injected clock) expires.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,6 +39,7 @@
 
 #include "pamakv/net/connection.hpp"
 #include "pamakv/net/event_loop.hpp"
+#include "pamakv/util/clock.hpp"
 
 namespace pamakv::net {
 
@@ -28,6 +49,17 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 11211;  ///< 0 => ephemeral, see Server::port()
   std::size_t threads = 1;     ///< event-loop threads
+
+  // ---- lifecycle knobs ----
+  std::size_t max_conns = 0;          ///< shed accepts above this (0 = off)
+  std::int64_t idle_timeout_ms = 0;   ///< reap idle connections (0 = off)
+  std::int64_t request_timeout_ms = 0;  ///< in-flight request cap (0 = off)
+  std::size_t tx_pause_bytes = 256 * 1024;   ///< stop reading above (0 = off)
+  std::size_t tx_resume_bytes = 64 * 1024;   ///< resume reading below
+  std::size_t tx_cap_bytes = 0;       ///< hard-close above (0 = off)
+  /// Clock for timers/timeouts; nullptr => the real SteadyClock. Tests
+  /// inject a FakeClock and drive every timeout with Advance().
+  util::Clock* clock = nullptr;
 };
 
 class Server {
@@ -41,9 +73,22 @@ class Server {
   /// Binds, listens and spawns the loop threads. Throws std::system_error
   /// on socket errors (e.g. port in use).
   void Start();
-  /// Stops the loops, joins the threads, closes every connection. Safe to
-  /// call twice; the destructor calls it.
+  /// Stops the loops, joins the threads, closes every connection
+  /// immediately (in-flight requests are dropped). Safe to call twice;
+  /// the destructor calls it.
   void Stop();
+  /// Graceful drain: stops accepting, lets every connection finish its
+  /// in-flight request and flush its tx buffer, closing each as it goes
+  /// quiescent; connections still busy when `grace` expires (on the
+  /// configured clock) are force-closed. Blocks until the loops are down
+  /// and returns true when the drain completed without force-closing.
+  bool Shutdown(std::chrono::milliseconds grace);
+  /// True once Shutdown has marked every loop draining (and armed the
+  /// grace deadline) — the point from which a test may Advance() a fake
+  /// clock to trigger the forced path.
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// Actual bound port (differs from config when config.port == 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
@@ -53,29 +98,76 @@ class Server {
   [[nodiscard]] std::uint64_t curr_connections() const noexcept {
     return curr_connections_.load(std::memory_order_relaxed);
   }
+  /// Accepts shed with SERVER_ERROR because max_conns was reached.
+  [[nodiscard]] std::uint64_t rejected_connections() const noexcept {
+    return rejected_connections_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the idle/request deadline timers.
+  [[nodiscard]] std::uint64_t timed_out_connections() const noexcept {
+    return timed_out_connections_.load(std::memory_order_relaxed);
+  }
+  /// Connections hard-closed for exceeding tx_cap_bytes.
+  [[nodiscard]] std::uint64_t overflow_closes() const noexcept {
+    return overflow_closes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t backpressure_pauses() const noexcept {
+    return backpressure_pauses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t backpressure_resumes() const noexcept {
+    return backpressure_resumes_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections currently mid-request, summed across loops (blocks on a
+  /// round-trip through every loop thread; valid only while running).
+  [[nodiscard]] std::size_t MidRequestConnections();
+
+  /// Appends the server-level "STAT name value" lines (connection and
+  /// lifecycle counters) — wired into the `stats` command via
+  /// CacheService::SetExtraStats.
+  void AppendServerStats(std::vector<char>& out) const;
 
  private:
   /// Per-loop world: the loop, its thread, and the connections it owns.
   struct Loop {
+    explicit Loop(util::Clock& clock) : loop(clock) {}
     EventLoop loop;
     std::thread thread;
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    bool draining = false;  ///< loop-thread only
   };
 
   void Accept();
   void Register(Loop& loop, int fd);
   void HandleEvents(Loop& loop, Connection& conn, std::uint32_t events);
   void CloseConnection(Loop& loop, int fd);
+  /// Earliest idle/request deadline for `conn`, 0 when none applies.
+  [[nodiscard]] std::int64_t NextDeadlineNs(const Connection& conn) const;
+  /// (Re)arms the per-connection lifecycle timer when the next deadline
+  /// moved earlier than what is armed; timers are otherwise lazy — they
+  /// fire, recheck against fresh timestamps, and re-arm.
+  void ArmLifecycleTimer(Loop& loop, Connection& conn);
+  void OnLifecycleTimer(Loop& loop, int fd);
+  /// Joins loop threads and releases sockets/maps (Stop and Shutdown
+  /// converge here).
+  void Teardown();
 
   ServerConfig config_;
   CacheService* service_;
+  util::Clock* clock_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   bool started_ = false;
   std::vector<std::unique_ptr<Loop>> loops_;
   std::atomic<std::size_t> next_loop_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drain_forced_{false};
   std::atomic<std::uint64_t> total_connections_{0};
   std::atomic<std::uint64_t> curr_connections_{0};
+  std::atomic<std::uint64_t> rejected_connections_{0};
+  std::atomic<std::uint64_t> timed_out_connections_{0};
+  std::atomic<std::uint64_t> overflow_closes_{0};
+  std::atomic<std::uint64_t> backpressure_pauses_{0};
+  std::atomic<std::uint64_t> backpressure_resumes_{0};
 };
 
 }  // namespace pamakv::net

@@ -1,0 +1,68 @@
+// Clock: the time seam for everything that waits.
+//
+// Production code reads monotonic time through the Clock interface so
+// tests can substitute FakeClock and advance time manually — timer and
+// timeout behavior is then exercised deterministically, without a single
+// wall-clock sleep. FakeClock additionally carries wake hooks: a blocked
+// waiter (e.g. an EventLoop parked in epoll_wait) registers a hook and is
+// interrupted whenever Advance() jumps the clock, so a test's Advance()
+// is all it takes to make due timers fire. The real SteadyClock ignores
+// hooks — real time never jumps.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+namespace pamakv::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch. Thread-safe.
+  [[nodiscard]] virtual std::int64_t NowNanos() = 0;
+
+  /// Registers a hook (keyed by `token`) to be invoked when the clock
+  /// jumps. Only manual clocks jump; the default implementations are
+  /// no-ops. Thread-safe.
+  virtual void RegisterWake(void* /*token*/, std::function<void()> /*hook*/) {}
+  virtual void UnregisterWake(void* /*token*/) {}
+};
+
+/// The real clock: std::chrono::steady_clock behind the seam.
+class SteadyClock final : public Clock {
+ public:
+  /// Process-wide instance (the default for every Clock consumer).
+  static SteadyClock& Instance();
+
+  std::int64_t NowNanos() override;
+};
+
+/// Manually advanced clock for deterministic tests. NowNanos() is an
+/// atomic read, so waiter threads may poll it freely; Advance() bumps the
+/// time and then fires every registered wake hook.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  std::int64_t NowNanos() override {
+    return now_ns_.load(std::memory_order_acquire);
+  }
+
+  /// Jumps the clock forward and wakes every registered waiter.
+  void Advance(std::chrono::nanoseconds d);
+
+  void RegisterWake(void* token, std::function<void()> hook) override;
+  void UnregisterWake(void* token) override;
+
+ private:
+  std::atomic<std::int64_t> now_ns_;
+  std::mutex mu_;
+  std::unordered_map<void*, std::function<void()>> hooks_;
+};
+
+}  // namespace pamakv::util

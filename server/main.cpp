@@ -7,7 +7,9 @@
 // server; each shard gets its own engine + policy instance. The `flags`
 // field of `set` carries the key's miss penalty in microseconds, which is
 // what makes penalty bands work over the wire (see DESIGN.md §8).
+#include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -29,7 +31,25 @@ int Main(int argc, char** argv) {
       .Describe("threads", "event-loop threads (default 1)")
       .Describe("capacity-mb", "total cache capacity in MiB (default 256)")
       .Describe("default-penalty-us",
-                "miss penalty for keys stored with flags=0 (default 1000)");
+                "miss penalty for keys stored with flags=0 (default 1000)")
+      .Describe("max-conns",
+                "shed accepts with SERVER_ERROR above this many open "
+                "connections; 0 = unlimited (default 0)")
+      .Describe("idle-timeout-ms",
+                "close a connection after this long without I/O; "
+                "0 = never (default 0)")
+      .Describe("request-timeout-ms",
+                "close a connection whose in-flight request stalls this "
+                "long; 0 = never (default 0)")
+      .Describe("tx-pause-kb",
+                "stop reading a client whose unsent responses exceed this "
+                "(resumes at a quarter of it); 0 = off (default 256)")
+      .Describe("tx-cap-mb",
+                "hard-close a client whose unsent responses exceed this; "
+                "0 = unlimited (default 0)")
+      .Describe("drain-ms",
+                "graceful-shutdown grace period on SIGTERM/SIGINT before "
+                "in-flight connections are force-closed (default 5000)");
   if (args.HelpRequested()) {
     args.PrintHelp(std::cout, "pamakv-server",
                    "memcached-ASCII server over the PAMA cache");
@@ -56,6 +76,16 @@ int Main(int argc, char** argv) {
   server_cfg.host = args.GetString("host", "127.0.0.1");
   server_cfg.port = static_cast<std::uint16_t>(args.GetInt("port", 11211));
   server_cfg.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
+  server_cfg.max_conns =
+      static_cast<std::size_t>(args.GetInt("max-conns", 0));
+  server_cfg.idle_timeout_ms = args.GetInt("idle-timeout-ms", 0);
+  server_cfg.request_timeout_ms = args.GetInt("request-timeout-ms", 0);
+  server_cfg.tx_pause_bytes =
+      static_cast<std::size_t>(args.GetInt("tx-pause-kb", 256)) * 1024;
+  server_cfg.tx_resume_bytes = server_cfg.tx_pause_bytes / 4;
+  server_cfg.tx_cap_bytes =
+      static_cast<std::size_t>(args.GetInt("tx-cap-mb", 0)) * 1024 * 1024;
+  const std::int64_t drain_ms = args.GetInt("drain-ms", 5'000);
 
   net::CacheService service(cache_cfg, [&](Bytes bytes) {
     return MakeEngine(scheme, bytes, SizeClassConfig{});
@@ -80,16 +110,25 @@ int Main(int argc, char** argv) {
 
   int sig = 0;
   sigwait(&sigs, &sig);
-  std::fprintf(stderr, "# signal %d: shutting down\n", sig);
-  server.Stop();
+  std::fprintf(stderr, "# signal %d: draining (up to %lldms)\n", sig,
+               static_cast<long long>(drain_ms));
+  // Graceful drain: stop accepting, let in-flight requests complete and
+  // tx buffers flush, then tear down — so a loadgen run that SIGTERMs the
+  // server still gets responses for everything it sent.
+  const bool clean = server.Shutdown(std::chrono::milliseconds(drain_ms));
+  std::fprintf(stderr, "# drain %s\n",
+               clean ? "complete" : "expired (connections force-closed)");
 
   const CacheStats stats = service.TotalStats();
   std::fprintf(stderr,
-               "# served %llu gets (%.1f%% hits), %llu sets, %llu conns\n",
+               "# served %llu gets (%.1f%% hits), %llu sets, %llu conns "
+               "(%llu rejected, %llu timed out)\n",
                static_cast<unsigned long long>(stats.gets),
                100.0 * stats.HitRatio(),
                static_cast<unsigned long long>(stats.sets),
-               static_cast<unsigned long long>(server.total_connections()));
+               static_cast<unsigned long long>(server.total_connections()),
+               static_cast<unsigned long long>(server.rejected_connections()),
+               static_cast<unsigned long long>(server.timed_out_connections()));
   return 0;
 }
 

@@ -169,7 +169,17 @@ void CacheService::AppendStats(std::vector<char>& out) const {
   AppendStat(out, "curr_items", ItemCount());
   AppendStat(out, "shards", shards_.size());
   AppendStat(out, "hash_collisions_resolved", CollisionsResolved());
+  {
+    std::lock_guard<std::mutex> lock(extra_stats_mu_);
+    if (extra_stats_) extra_stats_(out);
+  }
   AppendLiteral(out, "END\r\n");
+}
+
+void CacheService::SetExtraStats(
+    std::function<void(std::vector<char>&)> appender) {
+  std::lock_guard<std::mutex> lock(extra_stats_mu_);
+  extra_stats_ = std::move(appender);
 }
 
 }  // namespace pamakv::net

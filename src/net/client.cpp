@@ -72,29 +72,41 @@ void BlockingClient::Close() {
 void BlockingClient::SendRaw(std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET || errno == EPIPE) {
+        throw ClientError(ClientError::Kind::kConnectionReset,
+                          "connection reset while sending");
+      }
       ThrowErrno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
-void BlockingClient::ReadMore() {
+bool BlockingClient::ReadMore() {
   // Compact lazily so rxbuf_ reuses its capacity.
   if (rxpos_ > 0 && rxpos_ == rxbuf_.size()) {
     rxbuf_.clear();
     rxpos_ = 0;
   }
   char chunk[16 * 1024];
-  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-  if (n < 0) {
-    if (errno == EINTR) return;
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      rxbuf_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      throw ClientError(ClientError::Kind::kConnectionReset,
+                        "connection reset while receiving");
+    }
     ThrowErrno("recv");
   }
-  if (n == 0) throw std::runtime_error("server closed connection");
-  rxbuf_.append(chunk, static_cast<std::size_t>(n));
 }
 
 std::string BlockingClient::ReadLine() {
@@ -107,14 +119,35 @@ std::string BlockingClient::ReadLine() {
       rxpos_ = nl + 1;
       return line;
     }
-    ReadMore();
+    if (!ReadMore()) {
+      if (rxpos_ < rxbuf_.size()) {
+        throw ClientError(ClientError::Kind::kShortRead,
+                          "connection closed mid-line");
+      }
+      throw ClientError(ClientError::Kind::kConnectionClosed,
+                        "server closed connection");
+    }
   }
 }
 
 void BlockingClient::ReadExact(std::string& out, std::size_t n) {
-  while (rxbuf_.size() - rxpos_ < n) ReadMore();
+  while (rxbuf_.size() - rxpos_ < n) {
+    if (!ReadMore()) {
+      throw ClientError(ClientError::Kind::kShortRead,
+                        "connection closed mid-value (" +
+                            std::to_string(rxbuf_.size() - rxpos_) + " of " +
+                            std::to_string(n) + " bytes)");
+    }
+  }
   out.assign(rxbuf_, rxpos_, n);
   rxpos_ += n;
+}
+
+const std::string& BlockingClient::CheckServerError(const std::string& line) {
+  if (line.rfind("SERVER_ERROR", 0) == 0) {
+    throw ClientError(ClientError::Kind::kServerError, line);
+  }
+  return line;
 }
 
 bool BlockingClient::Set(std::string_view key, std::uint32_t flags,
@@ -125,7 +158,7 @@ bool BlockingClient::Set(std::string_view key, std::uint32_t flags,
   txline_.append(" 0 ").append(std::to_string(value.size())).append("\r\n");
   txline_.append(value).append("\r\n");
   SendRaw(txline_);
-  return ReadLine() == "STORED";
+  return CheckServerError(ReadLine()) == "STORED";
 }
 
 bool BlockingClient::Get(std::string_view key, std::string& value,
@@ -135,7 +168,7 @@ bool BlockingClient::Get(std::string_view key, std::string& value,
   SendRaw(txline_);
   bool hit = false;
   while (true) {
-    const std::string line = ReadLine();
+    const std::string line = CheckServerError(ReadLine());
     if (line == "END") return hit;
     if (line.rfind("VALUE ", 0) == 0) {
       // "VALUE <key> <flags> <bytes>"
@@ -147,11 +180,14 @@ bool BlockingClient::Get(std::string_view key, std::string& value,
       if (flags != nullptr) *flags = static_cast<std::uint32_t>(parsed_flags);
       ReadExact(value, static_cast<std::size_t>(bytes));
       // Trailing CRLF after the data block.
-      if (ReadLine() != "") throw std::runtime_error("bad value terminator");
+      if (!ReadLine().empty()) {
+        throw ClientError(ClientError::Kind::kProtocol, "bad value terminator");
+      }
       hit = true;
       continue;
     }
-    throw std::runtime_error("unexpected get response: " + line);
+    throw ClientError(ClientError::Kind::kProtocol,
+                      "unexpected get response: " + line);
   }
 }
 
@@ -159,17 +195,18 @@ bool BlockingClient::Delete(std::string_view key) {
   txline_.clear();
   txline_.append("delete ").append(key).append("\r\n");
   SendRaw(txline_);
-  return ReadLine() == "DELETED";
+  return CheckServerError(ReadLine()) == "DELETED";
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> BlockingClient::Stats() {
   SendRaw("stats\r\n");
   std::vector<std::pair<std::string, std::uint64_t>> stats;
   while (true) {
-    const std::string line = ReadLine();
+    const std::string line = CheckServerError(ReadLine());
     if (line == "END") return stats;
     if (line.rfind("STAT ", 0) != 0) {
-      throw std::runtime_error("unexpected stats response: " + line);
+      throw ClientError(ClientError::Kind::kProtocol,
+                        "unexpected stats response: " + line);
     }
     const std::size_t sp = line.find(' ', 5);
     stats.emplace_back(line.substr(5, sp - 5),
@@ -179,15 +216,17 @@ std::vector<std::pair<std::string, std::uint64_t>> BlockingClient::Stats() {
 
 std::string BlockingClient::Version() {
   SendRaw("version\r\n");
-  std::string line = ReadLine();
+  std::string line = CheckServerError(ReadLine());
   if (line.rfind("VERSION ", 0) == 0) line.erase(0, 8);
   return line;
 }
 
 void BlockingClient::FlushAll() {
   SendRaw("flush_all\r\n");
-  const std::string line = ReadLine();
-  if (line != "OK") throw std::runtime_error("flush_all failed: " + line);
+  const std::string line = CheckServerError(ReadLine());
+  if (line != "OK") {
+    throw ClientError(ClientError::Kind::kProtocol, "flush_all failed: " + line);
+  }
 }
 
 }  // namespace pamakv::net

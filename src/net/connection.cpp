@@ -218,6 +218,11 @@ void Connection::FinishSet(std::string_view data) {
 
 IoStatus Connection::OnReadable() {
   while (true) {
+    if (pause_threshold_ != 0 && tx_backlog() >= pause_threshold_) {
+      // Slow reader: leave the rest in the kernel buffer; the loop will
+      // pause EPOLLIN and resume once the backlog drains.
+      return IoStatus::kOk;
+    }
     char chunk[kReadChunk];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n > 0) {

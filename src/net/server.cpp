@@ -10,9 +10,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <future>
+#include <limits>
 #include <system_error>
 
 #include "pamakv/net/cache_service.hpp"
+#include "pamakv/net/protocol.hpp"
 
 namespace pamakv::net {
 
@@ -28,10 +31,17 @@ void SetNonBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+constexpr std::int64_t MsToNs(std::int64_t ms) { return ms * 1'000'000; }
+
 }  // namespace
 
 Server::Server(const ServerConfig& config, CacheService& service)
-    : config_(config), service_(&service) {}
+    : config_(config),
+      service_(&service),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &util::SteadyClock::Instance()) {}
 
 Server::~Server() { Stop(); }
 
@@ -61,10 +71,12 @@ void Server::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  draining_.store(false, std::memory_order_release);
+  drain_forced_.store(false, std::memory_order_release);
   const std::size_t n = config_.threads > 0 ? config_.threads : 1;
   loops_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    loops_.push_back(std::make_unique<Loop>());
+    loops_.push_back(std::make_unique<Loop>(*clock_));
   }
   // The acceptor lives on loop 0.
   loops_[0]->loop.Add(listen_fd_, EPOLLIN, [this](std::uint32_t) { Accept(); });
@@ -72,13 +84,68 @@ void Server::Start() {
     Loop* l = loop.get();
     l->thread = std::thread([l] { l->loop.Run(); });
   }
+  // Surface connection/lifecycle counters through the `stats` command.
+  service_->SetExtraStats(
+      [this](std::vector<char>& out) { AppendServerStats(out); });
   started_ = true;
 }
 
 void Server::Stop() {
   if (!started_) return;
-  started_ = false;
   for (auto& loop : loops_) loop->loop.Stop();
+  Teardown();
+}
+
+bool Server::Shutdown(std::chrono::milliseconds grace) {
+  if (!started_) return true;
+  // Stop accepting before anything else; the posted closures run in
+  // order, so the listen fd is gone before loop 0 starts draining.
+  loops_[0]->loop.Post([this] { loops_[0]->loop.Del(listen_fd_); });
+
+  std::vector<std::future<void>> armed;
+  for (auto& loop : loops_) {
+    Loop* l = loop.get();
+    auto ready = std::make_shared<std::promise<void>>();
+    armed.push_back(ready->get_future());
+    l->loop.Post([this, l, grace, ready] {
+      l->draining = true;
+      // Close connections that are already quiescent; the rest close as
+      // they go quiescent in HandleEvents, and CloseConnection stops the
+      // loop when the last one goes.
+      std::vector<int> quiescent;
+      for (const auto& [fd, conn] : l->conns) {
+        if (!conn->mid_request() && !conn->wants_write()) {
+          quiescent.push_back(fd);
+        }
+      }
+      for (const int fd : quiescent) CloseConnection(*l, fd);
+      if (l->conns.empty()) {
+        l->loop.Stop();
+      } else {
+        l->loop.RunAfter(grace, [this, l] {
+          if (!l->conns.empty()) {
+            drain_forced_.store(true, std::memory_order_release);
+            std::vector<int> remaining;
+            for (const auto& [fd, conn] : l->conns) remaining.push_back(fd);
+            for (const int fd : remaining) CloseConnection(*l, fd);
+          }
+          l->loop.Stop();
+        });
+      }
+      ready->set_value();
+    });
+  }
+  for (auto& f : armed) f.wait();
+  // Every loop is now draining with its grace deadline armed; a test may
+  // Advance() a fake clock from this point on.
+  draining_.store(true, std::memory_order_release);
+
+  Teardown();
+  return !drain_forced_.load(std::memory_order_acquire);
+}
+
+void Server::Teardown() {
+  service_->SetExtraStats(nullptr);
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
   }
@@ -89,6 +156,7 @@ void Server::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  started_ = false;
 }
 
 void Server::Accept() {
@@ -99,6 +167,23 @@ void Server::Accept() {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
       return;  // transient accept errors (ECONNABORTED, EMFILE) — drop
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    if (config_.max_conns != 0 &&
+        curr_connections_.load(std::memory_order_relaxed) >=
+            config_.max_conns) {
+      // Shed with an explanation instead of a silent RST; best-effort,
+      // the socket buffer of a fresh connection always has the room. The
+      // counter bumps first so a client that saw the line sees the count.
+      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      static constexpr char kShed[] = "SERVER_ERROR too many connections\r\n";
+      [[maybe_unused]] const ssize_t sent =
+          ::send(fd, kShed, sizeof kShed - 1, MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -114,11 +199,14 @@ void Server::Accept() {
 
 void Server::Register(Loop& loop, int fd) {
   auto conn = std::make_unique<Connection>(*service_, fd);
+  conn->set_pause_threshold(config_.tx_pause_bytes);
+  conn->Touch(clock_->NowNanos());
   Connection* raw = conn.get();
   loop.conns[fd] = std::move(conn);
   loop.loop.Add(fd, EPOLLIN, [this, &loop, raw](std::uint32_t events) {
     HandleEvents(loop, *raw, events);
   });
+  ArmLifecycleTimer(loop, *raw);
 }
 
 void Server::HandleEvents(Loop& loop, Connection& conn, std::uint32_t events) {
@@ -128,7 +216,7 @@ void Server::HandleEvents(Loop& loop, Connection& conn, std::uint32_t events) {
     return;
   }
   bool open = true;
-  if ((events & EPOLLIN) != 0) {
+  if ((events & EPOLLIN) != 0 && !conn.paused()) {
     open = conn.OnReadable() != IoStatus::kClosed;
   }
   // Respond (or flush backlog) regardless of which event fired.
@@ -141,14 +229,136 @@ void Server::HandleEvents(Loop& loop, Connection& conn, std::uint32_t events) {
     CloseConnection(loop, fd);
     return;
   }
-  // Keep EPOLLOUT armed exactly while a backlog exists.
-  loop.loop.Mod(fd, conn.wants_write() ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+  conn.Touch(clock_->NowNanos());
+
+  const std::size_t backlog = conn.tx_backlog();
+  if (config_.tx_cap_bytes != 0 && backlog > config_.tx_cap_bytes) {
+    // The client is not draining its responses; cut it loose before its
+    // backlog eats the heap.
+    overflow_closes_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(loop, fd);
+    return;
+  }
+  if (!conn.paused() && config_.tx_pause_bytes != 0 &&
+      backlog >= config_.tx_pause_bytes) {
+    conn.set_paused(true);
+    backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn.paused() && backlog <= config_.tx_resume_bytes) {
+    conn.set_paused(false);
+    backpressure_resumes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (loop.draining && !conn.mid_request() && !conn.wants_write()) {
+    CloseConnection(loop, fd);
+    return;
+  }
+
+  // Interest mask: EPOLLIN unless paused, EPOLLOUT exactly while a
+  // backlog exists (a paused connection always has one).
+  loop.loop.Mod(fd, (conn.paused() ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                        (conn.wants_write()
+                             ? static_cast<std::uint32_t>(EPOLLOUT)
+                             : 0u));
+  ArmLifecycleTimer(loop, conn);
+}
+
+std::int64_t Server::NextDeadlineNs(const Connection& conn) const {
+  std::int64_t next = kNoDeadline;
+  if (config_.idle_timeout_ms > 0) {
+    next = std::min(next,
+                    conn.last_activity_ns() + MsToNs(config_.idle_timeout_ms));
+  }
+  if (config_.request_timeout_ms > 0 && conn.request_start_ns() >= 0) {
+    next = std::min(
+        next, conn.request_start_ns() + MsToNs(config_.request_timeout_ms));
+  }
+  return next == kNoDeadline ? 0 : next;
+}
+
+void Server::ArmLifecycleTimer(Loop& loop, Connection& conn) {
+  const std::int64_t next = NextDeadlineNs(conn);
+  if (next == 0) {
+    if (conn.lifecycle_timer != kInvalidTimer) {
+      loop.loop.Cancel(conn.lifecycle_timer);
+      conn.lifecycle_timer = kInvalidTimer;
+    }
+    return;
+  }
+  // Lazy re-arm: a deadline that moved later is caught when the armed
+  // timer fires and rechecks; only an earlier one needs a fresh timer.
+  // Steady-state traffic therefore does no timer churn per request.
+  if (conn.lifecycle_timer != kInvalidTimer && next >= conn.armed_deadline_ns) {
+    return;
+  }
+  if (conn.lifecycle_timer != kInvalidTimer) {
+    loop.loop.Cancel(conn.lifecycle_timer);
+  }
+  const int fd = conn.fd();
+  const std::int64_t delay = next - clock_->NowNanos();
+  conn.armed_deadline_ns = next;
+  conn.lifecycle_timer =
+      loop.loop.RunAfter(std::chrono::nanoseconds(delay > 0 ? delay : 0),
+                         [this, &loop, fd] { OnLifecycleTimer(loop, fd); });
+}
+
+void Server::OnLifecycleTimer(Loop& loop, int fd) {
+  const auto it = loop.conns.find(fd);
+  if (it == loop.conns.end()) return;
+  Connection& conn = *it->second;
+  conn.lifecycle_timer = kInvalidTimer;
+  const std::int64_t now = clock_->NowNanos();
+  const bool request_expired =
+      config_.request_timeout_ms > 0 && conn.request_start_ns() >= 0 &&
+      now - conn.request_start_ns() >= MsToNs(config_.request_timeout_ms);
+  const bool idle_expired =
+      config_.idle_timeout_ms > 0 &&
+      now - conn.last_activity_ns() >= MsToNs(config_.idle_timeout_ms);
+  if (request_expired || idle_expired) {
+    timed_out_connections_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(loop, fd);
+    return;
+  }
+  ArmLifecycleTimer(loop, conn);
 }
 
 void Server::CloseConnection(Loop& loop, int fd) {
+  const auto it = loop.conns.find(fd);
+  if (it == loop.conns.end()) return;
+  if (it->second->lifecycle_timer != kInvalidTimer) {
+    loop.loop.Cancel(it->second->lifecycle_timer);
+  }
   loop.loop.Del(fd);
-  loop.conns.erase(fd);  // destroys the Connection, closing the fd
+  loop.conns.erase(it);  // destroys the Connection, closing the fd
   curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+  if (loop.draining && loop.conns.empty()) loop.loop.Stop();
+}
+
+std::size_t Server::MidRequestConnections() {
+  std::size_t total = 0;
+  for (auto& loop : loops_) {
+    Loop* l = loop.get();
+    std::promise<std::size_t> count;
+    auto got = count.get_future();
+    l->loop.Post([l, &count] {
+      std::size_t n = 0;
+      for (const auto& [fd, conn] : l->conns) {
+        if (conn->mid_request()) ++n;
+      }
+      count.set_value(n);
+    });
+    total += got.get();
+  }
+  return total;
+}
+
+void Server::AppendServerStats(std::vector<char>& out) const {
+  AppendStat(out, "curr_connections", curr_connections());
+  AppendStat(out, "total_connections", total_connections());
+  AppendStat(out, "rejected_connections", rejected_connections());
+  AppendStat(out, "timed_out_connections", timed_out_connections());
+  AppendStat(out, "overflow_closes", overflow_closes());
+  AppendStat(out, "backpressure_pauses", backpressure_pauses());
+  AppendStat(out, "backpressure_resumes", backpressure_resumes());
 }
 
 }  // namespace pamakv::net

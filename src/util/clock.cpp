@@ -1,0 +1,42 @@
+#include "pamakv/util/clock.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace pamakv::util {
+
+SteadyClock& SteadyClock::Instance() {
+  static SteadyClock instance;
+  return instance;
+}
+
+std::int64_t SteadyClock::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FakeClock::Advance(std::chrono::nanoseconds d) {
+  now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  // Snapshot the hooks so one may unregister (or register) from inside
+  // its own callback without deadlocking on mu_.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks.reserve(hooks_.size());
+    for (auto& [token, hook] : hooks_) hooks.push_back(hook);
+  }
+  for (auto& hook : hooks) hook();
+}
+
+void FakeClock::RegisterWake(void* token, std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_[token] = std::move(hook);
+}
+
+void FakeClock::UnregisterWake(void* token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.erase(token);
+}
+
+}  // namespace pamakv::util

@@ -1,0 +1,92 @@
+// util::Clock seam: FakeClock advance/wake-hook semantics and the real
+// SteadyClock's monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "pamakv/util/clock.hpp"
+
+namespace pamakv::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SteadyClockTest, MonotonicNonDecreasing) {
+  SteadyClock& clock = SteadyClock::Instance();
+  std::int64_t prev = clock.NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t now = clock.NowNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(FakeClockTest, AdvanceIsExact) {
+  FakeClock clock(1'000);
+  EXPECT_EQ(clock.NowNanos(), 1'000);
+  clock.Advance(5ms);
+  EXPECT_EQ(clock.NowNanos(), 1'000 + 5'000'000);
+  clock.Advance(std::chrono::nanoseconds(1));
+  EXPECT_EQ(clock.NowNanos(), 1'000 + 5'000'001);
+}
+
+TEST(FakeClockTest, WakeHooksFireOnAdvance) {
+  FakeClock clock;
+  int a = 0, b = 0;
+  clock.RegisterWake(&a, [&] { ++a; });
+  clock.RegisterWake(&b, [&] { ++b; });
+  clock.Advance(1ms);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  clock.UnregisterWake(&a);
+  clock.Advance(1ms);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(FakeClockTest, HookSeesPostAdvanceTime) {
+  FakeClock clock;
+  std::int64_t seen = -1;
+  clock.RegisterWake(&seen, [&] { seen = clock.NowNanos(); });
+  clock.Advance(3ms);
+  EXPECT_EQ(seen, 3'000'000);
+}
+
+TEST(FakeClockTest, HookMayUnregisterItself) {
+  FakeClock clock;
+  int fired = 0;
+  clock.RegisterWake(&fired, [&] {
+    ++fired;
+    clock.UnregisterWake(&fired);
+  });
+  clock.Advance(1ms);
+  clock.Advance(1ms);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FakeClockTest, ConcurrentReadersSeeConsistentTime) {
+  FakeClock clock;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      std::int64_t prev = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::int64_t now = clock.NowNanos();
+        ASSERT_GE(now, prev);  // advances only forward
+        prev = now;
+      }
+    });
+  }
+  for (int i = 0; i < 10'000; ++i) clock.Advance(std::chrono::nanoseconds(100));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(clock.NowNanos(), 1'000'000);
+}
+
+}  // namespace
+}  // namespace pamakv::util

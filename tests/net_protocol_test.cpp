@@ -249,5 +249,124 @@ TEST(ConnectionTest, GarbageFuzzNeverCrashes) {
   }
 }
 
+TEST(ConnectionTest, EverySplitPositionProducesIdenticalOutput) {
+  // Exhaustive two-fragment fuzz: a corpus stream exercising every verb,
+  // binary payloads, pipelining, errors and noreply is cut at EVERY byte
+  // position into two Ingest calls. Each cut must yield the exact
+  // reference byte stream — a stronger guarantee than random chunking,
+  // since boundary bugs live at specific offsets (mid-CRLF, mid-header,
+  // last payload byte) that sampling can miss.
+  const std::string binary("\r\nEND\r\n\0\xff\x01", 10);
+  const std::string corpus =
+      "set a 100 0 3\r\nxyz\r\n"
+      "set bin 7 0 10\r\n" + binary + "\r\n"
+      "set quiet 1 0 2 noreply\r\nqq\r\n"
+      "get a bin quiet miss\r\n"
+      "gets a\r\n"
+      "bogus\r\n"
+      "set k zz 0 5\r\n"
+      "delete a\r\ndelete a\r\n"
+      "version\r\n";
+  std::string reference;
+  {
+    auto service = MakeService();
+    Connection conn(*service);
+    reference = RunStream(conn, corpus).first;
+  }
+  ASSERT_FALSE(reference.empty());
+  for (std::size_t cut = 0; cut <= corpus.size(); ++cut) {
+    auto service = MakeService();
+    Connection conn(*service);
+    bool open = conn.Ingest(corpus.data(), cut);
+    ASSERT_TRUE(open) << "closed at cut " << cut;
+    open = conn.Ingest(corpus.data() + cut, corpus.size() - cut);
+    ASSERT_TRUE(open) << "closed at cut " << cut;
+    ASSERT_EQ(std::string(conn.pending_output()), reference)
+        << "divergence with split at byte " << cut;
+  }
+}
+
+TEST(ConnectionTest, SeededMutationFuzzNeverCrashes) {
+  // Start from a valid stream, then corrupt it: byte flips, insertions
+  // and deletions at random positions, fed in random chunk sizes. Unlike
+  // GarbageFuzzNeverCrashes this keeps the input *almost* well-formed, so
+  // it lands in the narrow error paths (bad header fields, payload length
+  // off by a few, truncated CRLF) rather than in the reject-everything
+  // fast path. Assertion: no crash/UB, and the connection is either open
+  // or was closed by an explicit error response.
+  const std::string base =
+      "set k1 10 0 4\r\nabcd\r\nset k2 20 0 6\r\nsixsix\r\n"
+      "get k1 k2\r\ngets k1\r\ndelete k2\r\nstats\r\nversion\r\n";
+  Rng rng(20'260'807);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string stream = base;
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int m = 0; m < mutations; ++m) {
+      if (stream.empty()) break;
+      const std::size_t pos = rng.NextBounded(stream.size());
+      switch (rng.NextBounded(3)) {
+        case 0:  // flip
+          stream[pos] = static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:  // insert
+          stream.insert(pos, 1, static_cast<char>(rng.NextBounded(256)));
+          break;
+        default:  // delete
+          stream.erase(pos, 1);
+          break;
+      }
+    }
+    auto service = MakeService(1, 1024 * 1024);
+    Connection conn(*service);
+    std::size_t pos = 0;
+    bool open = true;
+    while (pos < stream.size() && open) {
+      const std::size_t take =
+          std::min<std::size_t>(1 + rng.NextBounded(64), stream.size() - pos);
+      open = conn.Ingest(stream.data() + pos, take);
+      pos += take;
+    }
+    if (!open) {
+      // A close must have been explained on the wire (or be quit-silent).
+      const std::string out(conn.pending_output());
+      EXPECT_TRUE(out.empty() || out.find("ERROR") != std::string::npos ||
+                  out.find("END") != std::string::npos ||
+                  out.find("STORED") != std::string::npos)
+          << "trial " << trial << " closed silently with: " << out;
+    }
+    conn.ConsumeOutput(conn.pending_output().size());
+  }
+}
+
+TEST(ConnectionTest, OversizedValueSwallowRegressionCorpus) {
+  // Regression corpus for the discard path: an over-limit set must be
+  // swallowed byte-exactly no matter where the stream fragments, and the
+  // command after it must execute. The three splits pin the historical
+  // hazard points: right after the header line, mid-discard, and between
+  // the payload's trailing CR and LF.
+  const std::uint64_t huge = kMaxValueBytes + 17;
+  const std::string header = "set big 0 0 " + std::to_string(huge) + "\r\n";
+  const std::string payload(huge, 'x');
+  const std::string tail = "\r\nversion\r\n";
+  const std::string expected =
+      "SERVER_ERROR object too large for cache\r\nVERSION pamakv-0.2\r\n";
+
+  const std::size_t splits[] = {
+      header.size(),                          // exactly after the header
+      header.size() + payload.size() / 2,     // mid-discard
+      header.size() + payload.size() + 1,     // between \r and \n
+  };
+  const std::string stream = header + payload + tail;
+  for (const std::size_t split : splits) {
+    auto service = MakeService();
+    Connection conn(*service);
+    ASSERT_TRUE(conn.Ingest(stream.data(), split)) << "split " << split;
+    ASSERT_TRUE(conn.Ingest(stream.data() + split, stream.size() - split))
+        << "split " << split;
+    EXPECT_EQ(std::string(conn.pending_output()), expected)
+        << "split " << split;
+  }
+}
+
 }  // namespace
 }  // namespace pamakv::net

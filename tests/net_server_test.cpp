@@ -1,10 +1,18 @@
 // In-process integration tests: a real Server on an ephemeral port, a real
 // BlockingClient over TCP. The client implements the protocol independently
 // of the server's parser so the two ends of the wire don't share bugs.
+//
+// Lifecycle tests (idle reap, request deadline, drain grace) inject a
+// FakeClock: timeouts trigger on clock_.Advance(), never on wall time, so
+// every boundary is exact and no test sleeps through its own timeout. The
+// only waiting is WaitUntil() — cross-thread observation of counters that
+// the loop thread has already been told (by the clock) to bump.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -14,25 +22,30 @@
 #include "pamakv/net/client.hpp"
 #include "pamakv/net/server.hpp"
 #include "pamakv/sim/experiment.hpp"
+#include "pamakv/util/clock.hpp"
 
 namespace pamakv::net {
 namespace {
 
+using namespace std::chrono_literals;
+
 class ServerTest : public ::testing::Test {
  protected:
-  /// Starts a server on an ephemeral port over `scheme` engines.
+  /// Starts a server on an ephemeral port over `scheme` engines. Lifecycle
+  /// knobs go through scfg_ (set before calling); the fixture's FakeClock
+  /// is always injected, so timeouts only ever fire via clock_.Advance().
   void StartServer(const std::string& scheme = "memcached",
                    std::size_t threads = 1, std::size_t shards = 2) {
     CacheServiceConfig cfg;
     cfg.shards = shards;
-    cfg.capacity_bytes = 16ULL * 1024 * 1024;
+    cfg.capacity_bytes = 64ULL * 1024 * 1024;
     service_ = std::make_unique<CacheService>(cfg, [&](Bytes bytes) {
       return MakeEngine(scheme, bytes, SizeClassConfig{});
     });
-    ServerConfig scfg;
-    scfg.port = 0;  // ephemeral
-    scfg.threads = threads;
-    server_ = std::make_unique<Server>(scfg, *service_);
+    scfg_.port = 0;  // ephemeral
+    scfg_.threads = threads;
+    scfg_.clock = &clock_;
+    server_ = std::make_unique<Server>(scfg_, *service_);
     server_->Start();
   }
 
@@ -40,6 +53,31 @@ class ServerTest : public ::testing::Test {
     BlockingClient client;
     client.Connect("127.0.0.1", server_->port());
     return client;
+  }
+
+  /// Observation-only spin: waits for a loop-thread-side effect to become
+  /// visible. Never used to let a timeout elapse — that is Advance()'s job.
+  static bool WaitUntil(const std::function<bool()>& pred) {
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(200us);
+    }
+    return pred();
+  }
+
+  /// Expects the next read on `client` to fail with a connection-level
+  /// ClientError (the server closed or reset the socket).
+  static void ExpectConnectionGone(BlockingClient& client) {
+    try {
+      client.ReadLine();
+      FAIL() << "expected the server to have closed the connection";
+    } catch (const ClientError& e) {
+      EXPECT_TRUE(e.kind() == ClientError::Kind::kConnectionClosed ||
+                  e.kind() == ClientError::Kind::kConnectionReset ||
+                  e.kind() == ClientError::Kind::kShortRead)
+          << e.what();
+    }
   }
 
   static std::uint64_t Stat(
@@ -52,6 +90,8 @@ class ServerTest : public ::testing::Test {
     return 0;
   }
 
+  util::FakeClock clock_;
+  ServerConfig scfg_;
   std::unique_ptr<CacheService> service_;
   std::unique_ptr<Server> server_;
 };
@@ -219,6 +259,253 @@ TEST_F(ServerTest, ServerSurvivesAbruptDisconnect) {
   std::string value;
   ASSERT_TRUE(client.Get("after", value));
   EXPECT_EQ(value, "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle under the fake clock.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, IdleConnectionReapedAtExactTimeout) {
+  scfg_.idle_timeout_ms = 500;
+  StartServer();
+
+  // `idle` goes quiet at fake-time 0; `prober` keeps round-tripping, which
+  // both refreshes its own activity and proves the loop made progress
+  // after each Advance without touching `idle`.
+  auto idle = Connect();
+  auto prober = Connect();
+  EXPECT_EQ(idle.Version(), "pamakv-0.2");
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 2; }));
+
+  // One tick short of the deadline: nothing is reaped. The prober
+  // round-trip after Advance guarantees the loop ran a full dispatch
+  // round (whose timer sweep saw the advanced clock) before we assert.
+  clock_.Advance(499ms);
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+  EXPECT_EQ(server_->timed_out_connections(), 0u);
+  EXPECT_EQ(server_->curr_connections(), 2u);
+
+  // Crossing the exact deadline (fake-time 500ms) reaps `idle` — and only
+  // `idle`: the prober refreshed itself at 499ms.
+  clock_.Advance(1ms);
+  ASSERT_TRUE(WaitUntil([&] { return server_->timed_out_connections() == 1; }));
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 1; }));
+  ExpectConnectionGone(idle);
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+}
+
+TEST_F(ServerTest, RequestDeadlineClosesStalledRequest) {
+  scfg_.request_timeout_ms = 400;  // idle timeout stays off
+  StartServer();
+
+  auto staller = Connect();
+  auto prober = Connect();
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+
+  // A set whose payload never finishes: header + 5 of 10 value bytes.
+  staller.SendRaw("set stall 0 0 10\r\nhello");
+  ASSERT_TRUE(WaitUntil([&] { return server_->MidRequestConnections() == 1; }));
+
+  clock_.Advance(399ms);
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+  EXPECT_EQ(server_->timed_out_connections(), 0u);
+
+  clock_.Advance(2ms);
+  ASSERT_TRUE(WaitUntil([&] { return server_->timed_out_connections() == 1; }));
+  ExpectConnectionGone(staller);
+
+  // The prober was never mid-request, so the deadline does not apply to
+  // it; completed requests clear the deadline too.
+  EXPECT_TRUE(prober.Set("fine", 0, "value"));
+  clock_.Advance(10s);
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 1; }));
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+  EXPECT_EQ(server_->timed_out_connections(), 1u);
+}
+
+TEST_F(ServerTest, BackpressurePausesAndResumesReading) {
+  scfg_.tx_pause_bytes = 64 * 1024;
+  scfg_.tx_resume_bytes = 16 * 1024;
+  StartServer();
+
+  auto client = Connect();
+  // 24 KiB fits the largest slab slot (16B × 2^11 = 32 KiB classes).
+  const std::string big(24 * 1024, 'B');
+  ASSERT_TRUE(client.Set("big", 7, big));
+
+  // Pipeline far more response bytes than kernel buffers absorb while the
+  // client reads nothing: the unsent backlog must cross the high-water
+  // mark and the server must stop reading (EPOLLIN off) until we drain.
+  constexpr int kGets = 400;  // ~9.6 MiB of responses
+  std::string pipeline;
+  for (int i = 0; i < kGets; ++i) pipeline += "get big\r\n";
+  client.SendRaw(pipeline);
+  ASSERT_TRUE(WaitUntil([&] { return server_->backpressure_pauses() >= 1; }));
+
+  // Drain: every pipelined response arrives complete and in order — the
+  // pause deferred work, it lost none of it.
+  for (int i = 0; i < kGets; ++i) {
+    ASSERT_EQ(client.ReadLine(), "VALUE big 7 24576") << "response " << i;
+    std::string value;
+    client.ReadExact(value, big.size());
+    ASSERT_EQ(value.size(), big.size());
+    ASSERT_TRUE(value == big) << "payload corrupted in response " << i;
+    ASSERT_EQ(client.ReadLine(), "");  // CRLF after the data block
+    ASSERT_EQ(client.ReadLine(), "END");
+  }
+  ASSERT_TRUE(WaitUntil([&] { return server_->backpressure_resumes() >= 1; }));
+
+  // Reading resumed: the connection serves new requests.
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+  EXPECT_EQ(server_->overflow_closes(), 0u);
+}
+
+TEST_F(ServerTest, TxCapHardClosesUnboundedBacklog) {
+  scfg_.tx_pause_bytes = 0;  // no pause: backlog grows without bound...
+  scfg_.tx_cap_bytes = 1024 * 1024;  // ...until the cap cuts the client off
+  StartServer();
+
+  auto client = Connect();
+  const std::string big(24 * 1024, 'C');
+  ASSERT_TRUE(client.Set("big", 0, big));
+
+  std::string pipeline;
+  for (int i = 0; i < 1'000; ++i) pipeline += "get big\r\n";  // ~24 MiB out
+  client.SendRaw(pipeline);
+  ASSERT_TRUE(WaitUntil([&] { return server_->overflow_closes() == 1; }));
+
+  // The socket is gone; reading ends in a connection-level error (some
+  // already-flushed responses may arrive first).
+  try {
+    while (true) {
+      client.ReadLine();
+    }
+  } catch (const ClientError& e) {
+    EXPECT_TRUE(e.kind() == ClientError::Kind::kConnectionClosed ||
+                e.kind() == ClientError::Kind::kConnectionReset ||
+                e.kind() == ClientError::Kind::kShortRead)
+        << e.what();
+  }
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 0; }));
+}
+
+TEST_F(ServerTest, MaxConnsShedsWithServerError) {
+  scfg_.max_conns = 2;
+  StartServer();
+
+  auto a = Connect();
+  auto b = Connect();
+  EXPECT_EQ(a.Version(), "pamakv-0.2");
+  EXPECT_EQ(b.Version(), "pamakv-0.2");
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 2; }));
+
+  // The third connection is told why before being closed.
+  {
+    auto c = Connect();
+    EXPECT_EQ(c.ReadLine(), "SERVER_ERROR too many connections");
+    ExpectConnectionGone(c);
+  }
+  EXPECT_EQ(server_->rejected_connections(), 1u);
+
+  // Established connections are unaffected, and a freed slot is reusable.
+  EXPECT_EQ(a.Version(), "pamakv-0.2");
+  b.Close();
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 1; }));
+  auto d = Connect();
+  EXPECT_EQ(d.Version(), "pamakv-0.2");
+  EXPECT_EQ(server_->rejected_connections(), 1u);
+}
+
+TEST_F(ServerTest, GracefulShutdownCompletesInFlightRequest) {
+  StartServer();
+
+  auto busy = Connect();
+  auto quiet = Connect();
+  EXPECT_EQ(quiet.Version(), "pamakv-0.2");
+
+  // `busy` is mid-set when the drain starts: header + half the payload.
+  busy.SendRaw("set last 0 0 10\r\nhello");
+  ASSERT_TRUE(WaitUntil([&] { return server_->MidRequestConnections() == 1; }));
+
+  bool clean = false;
+  std::thread shutdown([&] {
+    clean = server_->Shutdown(std::chrono::milliseconds(60'000));
+  });
+  ASSERT_TRUE(WaitUntil([&] { return server_->draining(); }));
+
+  // The quiescent connection was closed by the drain sweep...
+  ExpectConnectionGone(quiet);
+  // ...while the in-flight one still gets to finish and see its reply.
+  busy.SendRaw("world\r\n");
+  EXPECT_EQ(busy.ReadLine(), "STORED");
+  ExpectConnectionGone(busy);  // then closed, now quiescent
+
+  shutdown.join();
+  EXPECT_TRUE(clean) << "drain should complete without force-closing";
+  EXPECT_EQ(service_->TotalStats().sets, 1u);  // the last set landed
+}
+
+TEST_F(ServerTest, ShutdownForceClosesAfterGraceExpires) {
+  StartServer();
+
+  auto staller = Connect();
+  staller.SendRaw("set never 0 0 10\r\nhel");  // never completed
+  ASSERT_TRUE(WaitUntil([&] { return server_->MidRequestConnections() == 1; }));
+
+  bool clean = true;
+  std::thread shutdown([&] {
+    clean = server_->Shutdown(std::chrono::milliseconds(250));
+  });
+  // draining() flips only after every loop armed its grace timer, so this
+  // Advance is guaranteed to cross an armed deadline.
+  ASSERT_TRUE(WaitUntil([&] { return server_->draining(); }));
+  clock_.Advance(251ms);
+
+  shutdown.join();
+  EXPECT_FALSE(clean) << "an unfinished request must force the drain";
+  ExpectConnectionGone(staller);
+  EXPECT_EQ(service_->TotalStats().sets, 0u);
+}
+
+TEST_F(ServerTest, StatsExposeLifecycleCounters) {
+  scfg_.max_conns = 1;
+  StartServer();
+  auto client = Connect();
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+  {
+    auto shed = Connect();
+    EXPECT_EQ(shed.ReadLine(), "SERVER_ERROR too many connections");
+  }
+  ASSERT_TRUE(WaitUntil([&] { return server_->rejected_connections() == 1; }));
+
+  const auto stats = client.Stats();
+  EXPECT_EQ(Stat(stats, "curr_connections"), 1u);
+  EXPECT_EQ(Stat(stats, "total_connections"), 1u);
+  EXPECT_EQ(Stat(stats, "rejected_connections"), 1u);
+  EXPECT_EQ(Stat(stats, "timed_out_connections"), 0u);
+  EXPECT_EQ(Stat(stats, "overflow_closes"), 0u);
+  EXPECT_EQ(Stat(stats, "backpressure_pauses"), 0u);
+  EXPECT_EQ(Stat(stats, "backpressure_resumes"), 0u);
+}
+
+TEST_F(ServerTest, AbruptStopSurfacesTypedClientError) {
+  StartServer();
+  auto client = Connect();
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+  server_->Stop();
+  try {
+    std::string value;
+    client.Get("anything", value);
+    // A race may let one request through a dying socket; the next cannot.
+    client.Get("anything", value);
+    FAIL() << "expected a ClientError after server stop";
+  } catch (const ClientError& e) {
+    EXPECT_TRUE(e.kind() == ClientError::Kind::kConnectionClosed ||
+                e.kind() == ClientError::Kind::kConnectionReset ||
+                e.kind() == ClientError::Kind::kShortRead)
+        << e.what();
+  }
 }
 
 }  // namespace
