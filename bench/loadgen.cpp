@@ -74,6 +74,27 @@ void MakeValue(std::string& value, std::uint64_t key) {
   value.assign(SizeOf(key), static_cast<char>('a' + (key % 26)));
 }
 
+/// Reconnects with exponential backoff + jitter. A server shedding load
+/// (fd exhaustion, max-conns, drain) recovers fastest when clients ease
+/// off instead of hammering the listen queue in lockstep.
+void ReconnectWithBackoff(net::BlockingClient& client,
+                          const WorkerConfig& cfg, Rng& rng) {
+  constexpr int kMaxAttempts = 10;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      client.Connect(cfg.host, cfg.port);
+      return;
+    } catch (const std::exception&) {
+      if (attempt + 1 >= kMaxAttempts) throw;
+      const double jitter = 0.5 + rng.NextDouble();  // 0.5x .. 1.5x
+      const double delay_ms =
+          static_cast<double>(1U << (attempt < 7 ? attempt : 7)) * jitter;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+}
+
 void Worker(const WorkerConfig& cfg, const ZipfSampler& zipf,
             std::uint64_t seed, std::vector<double>& latencies_us,
             RunResult& out) {
@@ -116,7 +137,7 @@ void Worker(const WorkerConfig& cfg, const ZipfSampler& zipf,
         if (e.kind() == net::ClientError::Kind::kProtocol) throw;
         if (measure) ++out.errors;
         client.Close();
-        client.Connect(cfg.host, cfg.port);
+        ReconnectWithBackoff(client, cfg, rng);
         continue;
       }
       if (measure) {

@@ -163,6 +163,11 @@ class CacheEngine {
   }
   ItemHandle AllocateItem();
   void ReleaseItem(ItemHandle h) noexcept;
+  /// Grows the item table so the next AllocateItem cannot throw. Called
+  /// first thing in Set: any allocation failure (real or injected through
+  /// the engine.item_alloc failpoint) surfaces before a single byte of
+  /// engine state has changed.
+  void ReserveItemCapacity();
   /// Removes an item from index/stack/slots. ghost=true records it in the
   /// subclass ghost list (evictions do; explicit DELs do not).
   void RemoveItem(ItemHandle h, bool to_ghost);

@@ -6,6 +6,7 @@
 // request/response.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -14,7 +15,21 @@
 #include <utility>
 #include <vector>
 
+#include "pamakv/util/rng.hpp"
+
 namespace pamakv::net {
+
+/// Optional reconnect/retry behavior for Connect and the typed
+/// operations. Delays grow exponentially from backoff_base with a
+/// uniform ±jitter fraction (seeded util::Rng, so tests replay exactly);
+/// a fleet of clients retrying a recovering server therefore doesn't
+/// stampede it in lockstep.
+struct RetryPolicy {
+  int attempts = 3;  ///< total tries per operation (1 = no retrying)
+  std::chrono::milliseconds backoff_base{10};  ///< doubles per retry
+  double jitter = 0.5;       ///< delay scaled by uniform [1-j, 1+j]
+  std::uint64_t seed = 0x5eed;  ///< jitter stream seed
+};
 
 /// Typed failure surfaced by BlockingClient, so callers (soak tests, the
 /// load generator) can tell an orderly close from a reset from a protocol
@@ -48,10 +63,20 @@ class BlockingClient {
   BlockingClient(BlockingClient&& other) noexcept;
   BlockingClient& operator=(BlockingClient&& other) noexcept;
 
-  /// Connects (IPv4). Throws std::system_error on failure.
+  /// Connects (IPv4). Throws std::system_error on failure. With a retry
+  /// policy set, failed connects are retried with backoff first.
   void Connect(const std::string& host, std::uint16_t port);
   void Close();
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Arms retrying: Connect retries failed connects, and the typed
+  /// operations transparently reconnect-and-retry on transient transport
+  /// failures (orderly close, reset, short read). Protocol violations and
+  /// SERVER_ERROR responses are answers, not outages — never retried.
+  /// Note a retried op may execute twice server-side (e.g. a Delete whose
+  /// response was lost reports NOT_FOUND on the retry).
+  void set_retry_policy(const RetryPolicy& policy);
+  void clear_retry_policy() { retry_.reset(); }
 
   // ---- typed operations (one blocking round trip each) ----
   /// flags carries the miss penalty in µs (see protocol.hpp).
@@ -82,11 +107,26 @@ class BlockingClient {
   /// Throws ClientError(kServerError) when `line` is a SERVER_ERROR
   /// response; returns `line` otherwise.
   const std::string& CheckServerError(const std::string& line);
+  /// One connect attempt (no retrying).
+  void ConnectOnce(const std::string& host, std::uint16_t port);
+  /// One get round trip (no retrying).
+  bool GetOnce(std::string_view key, std::string& value,
+               std::uint32_t* flags);
+  /// Sleeps the policy's backoff delay for the given zero-based attempt.
+  void BackoffSleep(int attempt);
+  /// Runs `fn`, reconnecting and retrying per the policy on transient
+  /// transport failures. Defined in client.cpp (used only there).
+  template <typename Fn>
+  auto WithRetry(Fn&& fn) -> decltype(fn());
 
   int fd_ = -1;
   std::string rxbuf_;
   std::size_t rxpos_ = 0;
   std::string txline_;  ///< reused scratch for request assembly
+  std::string host_;    ///< remembered for retry reconnects
+  std::uint16_t port_ = 0;
+  std::optional<RetryPolicy> retry_;
+  Rng retry_rng_{0};
 };
 
 }  // namespace pamakv::net

@@ -70,6 +70,13 @@ class EventLoop {
   /// The clock this loop schedules against.
   [[nodiscard]] util::Clock& clock() const noexcept { return *clock_; }
 
+  /// epoll_wait returns since Run() started. Thread-safe. A parked loop
+  /// holds this steady, which is how tests prove an error path (e.g. an
+  /// EMFILE'd listener) backs off instead of busy-spinning the reactor.
+  [[nodiscard]] std::uint64_t cycles() const noexcept {
+    return cycles_.load(std::memory_order_relaxed);
+  }
+
   /// Runs a closure on the loop thread (immediately when already on it).
   /// Thread-safe.
   void Post(std::function<void()> fn);
@@ -97,6 +104,7 @@ class EventLoop {
   int epoll_fd_;
   int wake_fd_;
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> cycles_{0};
   std::thread::id loop_thread_;
 
   std::unordered_map<int, std::unique_ptr<Handler>> handlers_;

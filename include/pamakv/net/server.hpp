@@ -57,6 +57,9 @@ struct ServerConfig {
   std::size_t tx_pause_bytes = 256 * 1024;   ///< stop reading above (0 = off)
   std::size_t tx_resume_bytes = 64 * 1024;   ///< resume reading below
   std::size_t tx_cap_bytes = 0;       ///< hard-close above (0 = off)
+  /// How long the acceptor stays disarmed after an accept error that
+  /// cannot be shed (fd/memory exhaustion) before retrying. See Accept().
+  std::int64_t accept_retry_ms = 10;
   /// Clock for timers/timeouts; nullptr => the real SteadyClock. Tests
   /// inject a FakeClock and drive every timeout with Advance().
   util::Clock* clock = nullptr;
@@ -116,6 +119,25 @@ class Server {
   [[nodiscard]] std::uint64_t backpressure_resumes() const noexcept {
     return backpressure_resumes_.load(std::memory_order_relaxed);
   }
+  /// Connections accepted through the reserved fd and shed with
+  /// "SERVER_ERROR out of file descriptors" during EMFILE/ENFILE.
+  [[nodiscard]] std::uint64_t emfile_sheds() const noexcept {
+    return emfile_sheds_.load(std::memory_order_relaxed);
+  }
+  /// Times the acceptor disarmed itself (accept_retry_ms backoff) because
+  /// an accept error could not be shed.
+  [[nodiscard]] std::uint64_t accept_pauses() const noexcept {
+    return accept_pauses_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped because their handler threw (bad_alloc during
+  /// registration or request processing).
+  [[nodiscard]] std::uint64_t error_closes() const noexcept {
+    return error_closes_.load(std::memory_order_relaxed);
+  }
+  /// epoll_wait returns summed across the loop threads; a bounded delta
+  /// while the server sits in an error state proves nothing busy-spins.
+  /// Valid only while the server is running.
+  [[nodiscard]] std::uint64_t LoopIterations() const;
 
   /// Connections currently mid-request, summed across loops (blocks on a
   /// round-trip through every loop thread; valid only while running).
@@ -137,6 +159,15 @@ class Server {
   };
 
   void Accept();
+  /// EMFILE/ENFILE: momentarily releases the reserved fd so one accept
+  /// can succeed, sheds that connection with an explanation, and retakes
+  /// the reserve. Returns false when accept still failed (shedding is
+  /// impossible; the caller must disarm instead).
+  bool ShedOverflowAccept();
+  /// Deregisters the listener and re-arms it accept_retry_ms later — a
+  /// listener left readable under level-triggered epoll would otherwise
+  /// spin the loop at 100% CPU until fds freed up.
+  void PauseAccepting();
   void Register(Loop& loop, int fd);
   void HandleEvents(Loop& loop, Connection& conn, std::uint32_t events);
   void CloseConnection(Loop& loop, int fd);
@@ -155,6 +186,9 @@ class Server {
   CacheService* service_;
   util::Clock* clock_;
   int listen_fd_ = -1;
+  /// Reserved fd (an open /dev/null) sacrificed during EMFILE so accept
+  /// can momentarily succeed; -1 outside Start..Teardown.
+  int spare_fd_ = -1;
   std::uint16_t port_ = 0;
   bool started_ = false;
   std::vector<std::unique_ptr<Loop>> loops_;
@@ -168,6 +202,9 @@ class Server {
   std::atomic<std::uint64_t> overflow_closes_{0};
   std::atomic<std::uint64_t> backpressure_pauses_{0};
   std::atomic<std::uint64_t> backpressure_resumes_{0};
+  std::atomic<std::uint64_t> emfile_sheds_{0};
+  std::atomic<std::uint64_t> accept_pauses_{0};
+  std::atomic<std::uint64_t> error_closes_{0};
 };
 
 }  // namespace pamakv::net

@@ -18,6 +18,7 @@
 #include "pamakv/net/server.hpp"
 #include "pamakv/sim/experiment.hpp"
 #include "pamakv/util/arg_parser.hpp"
+#include "pamakv/util/failpoint.hpp"
 
 namespace pamakv {
 namespace {
@@ -49,7 +50,10 @@ int Main(int argc, char** argv) {
                 "0 = unlimited (default 0)")
       .Describe("drain-ms",
                 "graceful-shutdown grace period on SIGTERM/SIGINT before "
-                "in-flight connections are force-closed (default 5000)");
+                "in-flight connections are force-closed (default 5000)")
+      .Describe("accept-retry-ms",
+                "how long to pause accepting after fd exhaustion before "
+                "re-arming the listener (default 10)");
   if (args.HelpRequested()) {
     args.PrintHelp(std::cout, "pamakv-server",
                    "memcached-ASCII server over the PAMA cache");
@@ -85,7 +89,17 @@ int Main(int argc, char** argv) {
   server_cfg.tx_resume_bytes = server_cfg.tx_pause_bytes / 4;
   server_cfg.tx_cap_bytes =
       static_cast<std::size_t>(args.GetInt("tx-cap-mb", 0)) * 1024 * 1024;
+  server_cfg.accept_retry_ms = args.GetInt("accept-retry-ms", 10);
   const std::int64_t drain_ms = args.GetInt("drain-ms", 5'000);
+
+#if PAMAKV_FAILPOINTS
+  // Chaos builds can arm injection points from the environment, e.g.
+  //   PAMAKV_FAILPOINTS_CFG="net.accept4=EMFILE@p:0.1;net.writev=short:1"
+  if (const std::size_t armed = util::FailPoints::ConfigureFromEnv();
+      armed > 0) {
+    std::fprintf(stderr, "# failpoints: %zu armed from env\n", armed);
+  }
+#endif
 
   net::CacheService service(cache_cfg, [&](Bytes bytes) {
     return MakeEngine(scheme, bytes, SizeClassConfig{});

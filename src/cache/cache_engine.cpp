@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "pamakv/policy/policy.hpp"
+#include "pamakv/util/failpoint.hpp"
 
 namespace pamakv {
 
@@ -68,14 +69,27 @@ CacheEngine::CacheEngine(const EngineConfig& config,
 CacheEngine::~CacheEngine() = default;
 
 ItemHandle CacheEngine::AllocateItem() {
-  if (!free_items_.empty()) {
-    const ItemHandle h = free_items_.back();
-    free_items_.pop_back();
-    return h;
+  // ReserveItemCapacity ran at the top of Set, so the free list is never
+  // empty here and this cannot throw mid-mutation.
+  assert(!free_items_.empty());
+  const ItemHandle h = free_items_.back();
+  free_items_.pop_back();
+  return h;
+}
+
+void CacheEngine::ReserveItemCapacity() {
+  if (!free_items_.empty()) return;
+  PAMAKV_FAILPOINT_OOM("engine.item_alloc");
+  if (free_items_.capacity() < items_.size() + 1) {
+    // The free list is empty here, so growing it is a copy-free realloc.
+    // Keep its capacity >= the item count (geometrically) so ReleaseItem's
+    // push_back — noexcept, called mid-eviction — can never reallocate.
+    free_items_.reserve(std::max(items_.size() + 1,
+                                 free_items_.capacity() * 2));
   }
   items_.emplace_back();
   assert(items_.size() - 1 < std::numeric_limits<ItemHandle>::max());
-  return static_cast<ItemHandle>(items_.size() - 1);
+  free_items_.push_back(static_cast<ItemHandle>(items_.size() - 1));
 }
 
 void CacheEngine::ReleaseItem(ItemHandle h) noexcept { free_items_.push_back(h); }
@@ -110,6 +124,12 @@ GetResult CacheEngine::Get(KeyId key, Bytes size, MicroSecs miss_penalty) {
 }
 
 SetResult CacheEngine::Set(KeyId key, Bytes size, MicroSecs penalty) {
+  // All item-table growth happens before any state mutates: a bad_alloc
+  // from here (real heap exhaustion, or injected via engine.item_alloc)
+  // leaves the engine bit-identical to before the call. The remaining
+  // allocation seams deeper in the insert path (LRU node pool, index
+  // rehash) are guarded with explicit rollback below.
+  ReserveItemCapacity();
   policy_->OnTick(clock_);
   ++clock_;
   ++stats_.sets;
@@ -159,10 +179,26 @@ SetResult CacheEngine::Set(KeyId key, Bytes size, MicroSecs penalty) {
   item.cls = cls;
   item.sub = sub;
   item.last_access = clock_;
-  item.node = StackOf(cls, sub).PushTop(h);
-
+  try {
+    item.node = StackOf(cls, sub).PushTop(h);
+  } catch (...) {
+    // Treap node-pool growth failed: hand back the slot and the item so
+    // slab accounting stays exact, then surface the failure.
+    ReleaseItem(h);
+    pool_.ReleaseSlot(cls, sub);
+    throw;
+  }
+  try {
+    index_.Upsert(key, h);
+  } catch (...) {
+    // Index rehash failed mid-insert: unwind the stack push too.
+    StackOf(cls, sub).Erase(item.node);
+    item.node = nullptr;
+    ReleaseItem(h);
+    pool_.ReleaseSlot(cls, sub);
+    throw;
+  }
   stats_.bytes_stored += size;
-  index_.Upsert(key, h);
   // The key is cached again: its ghost entry (if any) is obsolete.
   GhostOf(cls, sub).Remove(key);
   policy_->OnInsert(item);

@@ -4,6 +4,7 @@
 
 #include "pamakv/cache/string_keys.hpp"
 #include "pamakv/net/protocol.hpp"
+#include "pamakv/util/failpoint.hpp"
 
 namespace pamakv::net {
 
@@ -91,12 +92,21 @@ bool CacheService::Set(std::string_view key, std::uint32_t flags,
     shard.engine->Del(id);
     if (it != shard.entries.end()) it->second.live = false;
   }
+  // Stage every allocation the store needs — the entry node and its
+  // key/value capacity — before the engine mutates. A bad_alloc from here
+  // (real, or injected via the svc.store_bytes failpoint) aborts the
+  // request with the engine and the table exactly as they were; a fresh
+  // entry created just below stays a dead tombstone, which Get/Del handle.
+  Entry& entry = it != shard.entries.end() ? it->second : shard.entries[id];
+  PAMAKV_FAILPOINT_OOM("svc.store_bytes");
+  entry.key.reserve(key.size());
+  entry.value.reserve(value.size());
   const SetResult result =
       shard.engine->Set(id, value.size(), PenaltyOf(flags));
   // Record the store attempt either way: a refused store's tombstone keeps
   // routing this key's misses to the right ghost list, which is how the
-  // key earns space once its demand proves itself.
-  Entry& entry = it != shard.entries.end() ? it->second : shard.entries[id];
+  // key earns space once its demand proves itself. The assigns fit the
+  // reserved capacity, so nothing below can throw.
   entry.key.assign(key.data(), key.size());
   entry.value.assign(value.data(), value.size());
   entry.flags = flags;
@@ -173,6 +183,14 @@ void CacheService::AppendStats(std::vector<char>& out) const {
     std::lock_guard<std::mutex> lock(extra_stats_mu_);
     if (extra_stats_) extra_stats_(out);
   }
+#if PAMAKV_FAILPOINTS
+  // Injection-build only: how often each armed failpoint actually fired,
+  // so a chaos run can check its storm happened (and operators can see
+  // leftover armed points at a glance).
+  for (const auto& [name, trips] : util::FailPoints::TripCounts()) {
+    AppendStat(out, "failpoint." + name, trips);
+  }
+#endif
   AppendLiteral(out, "END\r\n");
 }
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,6 +11,9 @@
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
+
+#include "pamakv/net/syscall.hpp"
 
 namespace pamakv::net {
 
@@ -24,7 +28,11 @@ BlockingClient::~BlockingClient() { Close(); }
 BlockingClient::BlockingClient(BlockingClient&& other) noexcept
     : fd_(other.fd_),
       rxbuf_(std::move(other.rxbuf_)),
-      rxpos_(other.rxpos_) {
+      rxpos_(other.rxpos_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      retry_(other.retry_),
+      retry_rng_(other.retry_rng_) {
   other.fd_ = -1;
 }
 
@@ -34,14 +42,55 @@ BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
     fd_ = other.fd_;
     rxbuf_ = std::move(other.rxbuf_);
     rxpos_ = other.rxpos_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    retry_ = other.retry_;
+    retry_rng_ = other.retry_rng_;
     other.fd_ = -1;
   }
   return *this;
 }
 
+void BlockingClient::set_retry_policy(const RetryPolicy& policy) {
+  retry_ = policy;
+  retry_rng_ = Rng(policy.seed);
+}
+
+void BlockingClient::BackoffSleep(int attempt) {
+  if (!retry_ || retry_->backoff_base.count() <= 0) return;
+  // Exponential, capped so the shift cannot overflow, jittered so
+  // synchronized clients desynchronize.
+  const int shift = attempt < 20 ? attempt : 20;
+  double delay_ms = static_cast<double>(retry_->backoff_base.count()) *
+                    static_cast<double>(1ULL << shift);
+  const double j = retry_->jitter;
+  if (j > 0.0) {
+    delay_ms *= 1.0 + j * (2.0 * retry_rng_.NextDouble() - 1.0);
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
+}
+
 void BlockingClient::Connect(const std::string& host, std::uint16_t port) {
+  const int attempts = retry_ ? (retry_->attempts > 1 ? retry_->attempts : 1)
+                              : 1;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ConnectOnce(host, port);
+      return;
+    } catch (const std::system_error&) {
+      if (attempt + 1 >= attempts) throw;
+      BackoffSleep(attempt);
+    }
+  }
+}
+
+void BlockingClient::ConnectOnce(const std::string& host,
+                                 std::uint16_t port) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  host_ = host;
+  port_ = port;
+  fd_ = sys::Socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) ThrowErrno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -51,15 +100,51 @@ void BlockingClient::Connect(const std::string& host, std::uint16_t port) {
     throw std::invalid_argument("bad address: " + host);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int saved = errno;
-    Close();
-    errno = saved;
-    ThrowErrno("connect");
+    if (errno == EINTR) {
+      // Interrupted connect keeps handshaking in the background; wait for
+      // the verdict and read it from SO_ERROR, per POSIX.
+      pollfd pfd{fd_, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, -1);
+      } while (rc < 0 && errno == EINTR);
+      int err = 0;
+      socklen_t errlen = sizeof err;
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &errlen);
+      if (err != 0) {
+        Close();
+        errno = err;
+        ThrowErrno("connect");
+      }
+    } else {
+      const int saved = errno;
+      Close();
+      errno = saved;
+      ThrowErrno("connect");
+    }
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   rxbuf_.clear();
   rxpos_ = 0;
+}
+
+template <typename Fn>
+auto BlockingClient::WithRetry(Fn&& fn) -> decltype(fn()) {
+  if (!retry_ || retry_->attempts <= 1) return fn();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const ClientError& e) {
+      const bool transient =
+          e.kind() == ClientError::Kind::kConnectionClosed ||
+          e.kind() == ClientError::Kind::kConnectionReset ||
+          e.kind() == ClientError::Kind::kShortRead;
+      if (!transient || attempt + 1 >= retry_->attempts) throw;
+      BackoffSleep(attempt);
+      Connect(host_, port_);  // fresh socket, empty buffers
+    }
+  }
 }
 
 void BlockingClient::Close() {
@@ -72,8 +157,8 @@ void BlockingClient::Close() {
 void BlockingClient::SendRaw(std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = sys::Send(fd_, data.data() + sent, data.size() - sent,
+                                MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == ECONNRESET || errno == EPIPE) {
@@ -94,7 +179,7 @@ bool BlockingClient::ReadMore() {
   }
   char chunk[16 * 1024];
   while (true) {
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    const ssize_t n = sys::Recv(fd_, chunk, sizeof chunk, 0);
     if (n > 0) {
       rxbuf_.append(chunk, static_cast<std::size_t>(n));
       return true;
@@ -152,17 +237,24 @@ const std::string& BlockingClient::CheckServerError(const std::string& line) {
 
 bool BlockingClient::Set(std::string_view key, std::uint32_t flags,
                          std::string_view value) {
-  txline_.clear();
-  txline_.append("set ").append(key).append(" ");
-  txline_.append(std::to_string(flags));
-  txline_.append(" 0 ").append(std::to_string(value.size())).append("\r\n");
-  txline_.append(value).append("\r\n");
-  SendRaw(txline_);
-  return CheckServerError(ReadLine()) == "STORED";
+  return WithRetry([&] {
+    txline_.clear();
+    txline_.append("set ").append(key).append(" ");
+    txline_.append(std::to_string(flags));
+    txline_.append(" 0 ").append(std::to_string(value.size())).append("\r\n");
+    txline_.append(value).append("\r\n");
+    SendRaw(txline_);
+    return CheckServerError(ReadLine()) == "STORED";
+  });
 }
 
 bool BlockingClient::Get(std::string_view key, std::string& value,
                          std::uint32_t* flags) {
+  return WithRetry([&] { return GetOnce(key, value, flags); });
+}
+
+bool BlockingClient::GetOnce(std::string_view key, std::string& value,
+                             std::uint32_t* flags) {
   txline_.clear();
   txline_.append("get ").append(key).append("\r\n");
   SendRaw(txline_);
@@ -192,41 +284,50 @@ bool BlockingClient::Get(std::string_view key, std::string& value,
 }
 
 bool BlockingClient::Delete(std::string_view key) {
-  txline_.clear();
-  txline_.append("delete ").append(key).append("\r\n");
-  SendRaw(txline_);
-  return CheckServerError(ReadLine()) == "DELETED";
+  return WithRetry([&] {
+    txline_.clear();
+    txline_.append("delete ").append(key).append("\r\n");
+    SendRaw(txline_);
+    return CheckServerError(ReadLine()) == "DELETED";
+  });
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> BlockingClient::Stats() {
-  SendRaw("stats\r\n");
-  std::vector<std::pair<std::string, std::uint64_t>> stats;
-  while (true) {
-    const std::string line = CheckServerError(ReadLine());
-    if (line == "END") return stats;
-    if (line.rfind("STAT ", 0) != 0) {
-      throw ClientError(ClientError::Kind::kProtocol,
-                        "unexpected stats response: " + line);
+  return WithRetry([&] {
+    SendRaw("stats\r\n");
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+    while (true) {
+      const std::string line = CheckServerError(ReadLine());
+      if (line == "END") return stats;
+      if (line.rfind("STAT ", 0) != 0) {
+        throw ClientError(ClientError::Kind::kProtocol,
+                          "unexpected stats response: " + line);
+      }
+      const std::size_t sp = line.find(' ', 5);
+      stats.emplace_back(line.substr(5, sp - 5),
+                         std::stoull(line.substr(sp + 1)));
     }
-    const std::size_t sp = line.find(' ', 5);
-    stats.emplace_back(line.substr(5, sp - 5),
-                       std::stoull(line.substr(sp + 1)));
-  }
+  });
 }
 
 std::string BlockingClient::Version() {
-  SendRaw("version\r\n");
-  std::string line = CheckServerError(ReadLine());
-  if (line.rfind("VERSION ", 0) == 0) line.erase(0, 8);
-  return line;
+  return WithRetry([&] {
+    SendRaw("version\r\n");
+    std::string line = CheckServerError(ReadLine());
+    if (line.rfind("VERSION ", 0) == 0) line.erase(0, 8);
+    return line;
+  });
 }
 
 void BlockingClient::FlushAll() {
-  SendRaw("flush_all\r\n");
-  const std::string line = CheckServerError(ReadLine());
-  if (line != "OK") {
-    throw ClientError(ClientError::Kind::kProtocol, "flush_all failed: " + line);
-  }
+  WithRetry([&] {
+    SendRaw("flush_all\r\n");
+    const std::string line = CheckServerError(ReadLine());
+    if (line != "OK") {
+      throw ClientError(ClientError::Kind::kProtocol,
+                        "flush_all failed: " + line);
+    }
+  });
 }
 
 }  // namespace pamakv::net

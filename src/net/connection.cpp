@@ -4,8 +4,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <new>
 
 #include "pamakv/net/cache_service.hpp"
+#include "pamakv/net/syscall.hpp"
 
 namespace pamakv::net {
 
@@ -210,7 +212,19 @@ void Connection::ExecuteRetrieval(const Command& cmd) {
 
 void Connection::FinishSet(std::string_view data) {
   const std::string_view key(pending_key_, pending_key_len_);
-  const bool stored = service_->Set(key, pending_flags_, data);
+  bool stored = false;
+  try {
+    stored = service_->Set(key, pending_flags_, data);
+  } catch (const std::bad_alloc&) {
+    // The service staged its allocations before mutating, so the cache is
+    // exactly as it was. Fail this request, keep the connection — one
+    // starved store must not take down the event loop (memcached answers
+    // the same way when an item allocation fails).
+    if (!pending_noreply_) {
+      AppendLiteral(tx_, "SERVER_ERROR out of memory storing object\r\n");
+    }
+    return;
+  }
   if (!pending_noreply_) {
     AppendLiteral(tx_, stored ? "STORED\r\n" : "NOT_STORED\r\n");
   }
@@ -224,7 +238,7 @@ IoStatus Connection::OnReadable() {
       return IoStatus::kOk;
     }
     char chunk[kReadChunk];
-    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    const ssize_t n = sys::Read(fd_, chunk, sizeof chunk);
     if (n > 0) {
       if (!Ingest(chunk, static_cast<std::size_t>(n))) return IoStatus::kClosed;
       if (static_cast<std::size_t>(n) < sizeof chunk) return IoStatus::kOk;
@@ -239,8 +253,10 @@ IoStatus Connection::OnReadable() {
 
 IoStatus Connection::FlushOutput() {
   while (wants_write()) {
+    // sys::Write sends with MSG_NOSIGNAL: a peer that reset mid-response
+    // yields EPIPE (-> kClosed below) instead of a process-wide SIGPIPE.
     const ssize_t n =
-        ::write(fd_, tx_.data() + tx_head_, tx_.size() - tx_head_);
+        sys::Write(fd_, tx_.data() + tx_head_, tx_.size() - tx_head_);
     if (n > 0) {
       ConsumeOutput(static_cast<std::size_t>(n));
       continue;

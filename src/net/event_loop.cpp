@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "pamakv/net/syscall.hpp"
+
 namespace pamakv::net {
 
 namespace {
@@ -27,7 +29,7 @@ constexpr auto kHeapGreater =
 EventLoop::EventLoop(util::Clock& clock) : clock_(&clock) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) ThrowErrno("epoll_create1");
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  wake_fd_ = sys::EventFd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wake_fd_ < 0) {
     ::close(epoll_fd_);
     ThrowErrno("eventfd");
@@ -153,7 +155,11 @@ void EventLoop::Post(std::function<void()> fn) {
 
 void EventLoop::Wake() {
   const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof one);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the counter is already nonzero — the wake is pending.
 }
 
 void EventLoop::DrainPosted() {
@@ -170,7 +176,8 @@ void EventLoop::Run() {
   running_.store(true, std::memory_order_release);
   epoll_event events[64];
   while (running_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, NextTimeoutMs());
+    const int n = sys::EpollWait(epoll_fd_, events, 64, NextTimeoutMs());
+    cycles_.fetch_add(1, std::memory_order_relaxed);
     if (n < 0) {
       if (errno == EINTR) continue;
       ThrowErrno("epoll_wait");
@@ -183,8 +190,10 @@ void EventLoop::Run() {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
         std::uint64_t drain = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(wake_fd_, &drain, sizeof drain);
+        ssize_t r;
+        do {
+          r = ::read(wake_fd_, &drain, sizeof drain);
+        } while (r < 0 && errno == EINTR);
         continue;
       }
       // Look the handler up per event: an earlier callback in this batch

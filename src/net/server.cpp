@@ -12,10 +12,12 @@
 #include <cstring>
 #include <future>
 #include <limits>
+#include <new>
 #include <system_error>
 
 #include "pamakv/net/cache_service.hpp"
 #include "pamakv/net/protocol.hpp"
+#include "pamakv/net/syscall.hpp"
 
 namespace pamakv::net {
 
@@ -46,7 +48,8 @@ Server::Server(const ServerConfig& config, CacheService& service)
 Server::~Server() { Stop(); }
 
 void Server::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  listen_fd_ =
+      sys::Socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) ThrowErrno("socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -71,15 +74,34 @@ void Server::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  // The EMFILE reserve: holding one fd we can give back means a
+  // descriptor-starved acceptor can still complete one accept and shed
+  // the connection with an explanation (see ShedOverflowAccept).
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
   draining_.store(false, std::memory_order_release);
   drain_forced_.store(false, std::memory_order_release);
   const std::size_t n = config_.threads > 0 ? config_.threads : 1;
   loops_.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    loops_.push_back(std::make_unique<Loop>(*clock_));
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      loops_.push_back(std::make_unique<Loop>(*clock_));
+    }
+    // The acceptor lives on loop 0.
+    loops_[0]->loop.Add(listen_fd_, EPOLLIN,
+                        [this](std::uint32_t) { Accept(); });
+  } catch (...) {
+    // A loop failed to build (epoll/eventfd exhaustion): release what
+    // Start already took so a later retry begins from a clean slate.
+    loops_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (spare_fd_ >= 0) {
+      ::close(spare_fd_);
+      spare_fd_ = -1;
+    }
+    throw;
   }
-  // The acceptor lives on loop 0.
-  loops_[0]->loop.Add(listen_fd_, EPOLLIN, [this](std::uint32_t) { Accept(); });
   for (auto& loop : loops_) {
     Loop* l = loop.get();
     l->thread = std::thread([l] { l->loop.Run(); });
@@ -156,17 +178,33 @@ void Server::Teardown() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
   started_ = false;
 }
 
 void Server::Accept() {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = sys::Accept4(listen_fd_, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      return;  // transient accept errors (ECONNABORTED, EMFILE) — drop
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors. Returning with the backlog still pending
+        // used to leave the listener readable forever — level-triggered
+        // epoll then spun this loop at 100% CPU. Shed one connection via
+        // the reserved fd; if even that fails, disarm and retry later.
+        if (ShedOverflowAccept()) continue;
+        PauseAccepting();
+        return;
+      }
+      // ENOMEM/ENOBUFS and anything unexpected: same spin hazard, no way
+      // to shed — back off and retry once the kernel recovers.
+      PauseAccepting();
+      return;
     }
     if (draining_.load(std::memory_order_acquire)) {
       ::close(fd);
@@ -197,16 +235,67 @@ void Server::Accept() {
   }
 }
 
-void Server::Register(Loop& loop, int fd) {
-  auto conn = std::make_unique<Connection>(*service_, fd);
-  conn->set_pause_threshold(config_.tx_pause_bytes);
-  conn->Touch(clock_->NowNanos());
-  Connection* raw = conn.get();
-  loop.conns[fd] = std::move(conn);
-  loop.loop.Add(fd, EPOLLIN, [this, &loop, raw](std::uint32_t events) {
-    HandleEvents(loop, *raw, events);
+bool Server::ShedOverflowAccept() {
+  if (spare_fd_ < 0) return false;
+  ::close(spare_fd_);
+  spare_fd_ = -1;
+  const int fd = sys::Accept4(listen_fd_, nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd >= 0) {
+    emfile_sheds_.fetch_add(1, std::memory_order_relaxed);
+    static constexpr char kShed[] =
+        "SERVER_ERROR out of file descriptors\r\n";
+    [[maybe_unused]] const ssize_t sent =
+        ::send(fd, kShed, sizeof kShed - 1, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+  // Retake the reserve only after the shed fd is gone — in a true EMFILE
+  // the descriptor we just released is the only one in the house.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  return fd >= 0;
+}
+
+void Server::PauseAccepting() {
+  Loop& l = *loops_[0];
+  l.loop.Del(listen_fd_);
+  const std::int64_t retry_ms =
+      config_.accept_retry_ms > 0 ? config_.accept_retry_ms : 10;
+  l.loop.RunAfter(std::chrono::milliseconds(retry_ms), [this, &l] {
+    if (l.draining) return;  // Shutdown already removed the listener
+    l.loop.Add(listen_fd_, EPOLLIN, [this](std::uint32_t) { Accept(); });
+    Accept();  // drain whatever queued while we were disarmed
   });
-  ArmLifecycleTimer(loop, *raw);
+  // Counter last: once a test observes the bump, the retry timer is
+  // armed and a FakeClock Advance cannot race past it.
+  accept_pauses_.fetch_add(1, std::memory_order_release);
+}
+
+void Server::Register(Loop& loop, int fd) {
+  std::unique_ptr<Connection> conn;
+  try {
+    conn = std::make_unique<Connection>(*service_, fd);
+    conn->set_pause_threshold(config_.tx_pause_bytes);
+    conn->Touch(clock_->NowNanos());
+    Connection* raw = conn.get();
+    loop.conns[fd] = std::move(conn);
+    loop.loop.Add(fd, EPOLLIN, [this, &loop, raw](std::uint32_t events) {
+      HandleEvents(loop, *raw, events);
+    });
+    ArmLifecycleTimer(loop, *raw);
+  } catch (...) {
+    // Registration starved (epoll ENOMEM, allocation failure): shed the
+    // socket; the loop thread must survive. Exactly one owner closes the
+    // fd — the map entry, the still-local unique_ptr, or us by hand.
+    error_closes_.fetch_add(1, std::memory_order_relaxed);
+    loop.loop.Del(fd);  // no-op unless Add succeeded
+    const auto it = loop.conns.find(fd);
+    if (it != loop.conns.end()) {
+      loop.conns.erase(it);  // destroys the Connection, closing the fd
+    } else if (conn == nullptr) {
+      ::close(fd);
+    }
+    curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void Server::HandleEvents(Loop& loop, Connection& conn, std::uint32_t events) {
@@ -217,7 +306,16 @@ void Server::HandleEvents(Loop& loop, Connection& conn, std::uint32_t events) {
   }
   bool open = true;
   if ((events & EPOLLIN) != 0 && !conn.paused()) {
-    open = conn.OnReadable() != IoStatus::kClosed;
+    try {
+      open = conn.OnReadable() != IoStatus::kClosed;
+    } catch (const std::bad_alloc&) {
+      // Request processing starved the heap outside the guarded store
+      // path (e.g. growing a connection buffer). Drop this connection and
+      // keep serving — bad_alloc must never escape the event loop.
+      error_closes_.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(loop, fd);
+      return;
+    }
   }
   // Respond (or flush backlog) regardless of which event fired.
   const IoStatus wrote = conn.FlushOutput();
@@ -351,6 +449,12 @@ std::size_t Server::MidRequestConnections() {
   return total;
 }
 
+std::uint64_t Server::LoopIterations() const {
+  std::uint64_t total = 0;
+  for (const auto& loop : loops_) total += loop->loop.cycles();
+  return total;
+}
+
 void Server::AppendServerStats(std::vector<char>& out) const {
   AppendStat(out, "curr_connections", curr_connections());
   AppendStat(out, "total_connections", total_connections());
@@ -359,6 +463,10 @@ void Server::AppendServerStats(std::vector<char>& out) const {
   AppendStat(out, "overflow_closes", overflow_closes());
   AppendStat(out, "backpressure_pauses", backpressure_pauses());
   AppendStat(out, "backpressure_resumes", backpressure_resumes());
+  AppendStat(out, "emfile_sheds", emfile_sheds());
+  AppendStat(out, "accept_pauses", accept_pauses());
+  AppendStat(out, "error_closes", error_closes());
+  AppendStat(out, "loop_iterations", LoopIterations());
 }
 
 }  // namespace pamakv::net

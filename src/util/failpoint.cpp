@@ -1,0 +1,258 @@
+#include "pamakv/util/failpoint.hpp"
+
+#if PAMAKV_FAILPOINTS
+
+#include <cerrno>
+#include <cstdlib>
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace pamakv::util {
+
+namespace {
+
+struct NamedErrno {
+  std::string_view name;
+  int value;
+};
+
+/// The errnos the net/ and cache paths can plausibly meet. Extend as new
+/// wrappers grow failpoints; Parse rejects anything not listed so a typo
+/// in a test spec fails loudly instead of injecting errno 0.
+constexpr NamedErrno kErrnos[] = {
+    {"EAGAIN", EAGAIN},     {"ECONNABORTED", ECONNABORTED},
+    {"ECONNRESET", ECONNRESET}, {"EINTR", EINTR},
+    {"EIO", EIO},           {"EMFILE", EMFILE},
+    {"ENFILE", ENFILE},     {"ENOBUFS", ENOBUFS},
+    {"ENOMEM", ENOMEM},     {"EPIPE", EPIPE},
+};
+
+int LookupErrno(std::string_view name) {
+  for (const NamedErrno& e : kErrnos) {
+    if (e.name == name) return e.value;
+  }
+  return 0;
+}
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  // Accepts 0, 1, 0.25, .5 — enough for spec strings, no locale traps.
+  if (text.empty()) return false;
+  double value = 0.0;
+  std::size_t i = 0;
+  for (; i < text.size() && text[i] != '.'; ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    value = value * 10.0 + (text[i] - '0');
+  }
+  if (i < text.size()) {
+    double scale = 0.1;
+    for (++i; i < text.size(); ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      value += (text[i] - '0') * scale;
+      scale *= 0.1;
+    }
+  }
+  if (value < 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+/// Parses the optional `when` clause into spec's trigger fields.
+bool ParseWhen(std::string_view when, FailPointSpec* spec) {
+  if (when == "once") {
+    spec->trigger = FailPointSpec::Trigger::kTimes;
+    spec->times = 1;
+    return true;
+  }
+  if (!when.empty() && when[0] == 'x') {
+    if (!ParseU64(when.substr(1), &spec->times) || spec->times == 0) {
+      return false;
+    }
+    spec->trigger = FailPointSpec::Trigger::kTimes;
+    return true;
+  }
+  if (when.rfind("nth:", 0) == 0) {
+    if (!ParseU64(when.substr(4), &spec->period) || spec->period == 0) {
+      return false;
+    }
+    spec->trigger = FailPointSpec::Trigger::kEveryNth;
+    return true;
+  }
+  if (when.rfind("p:", 0) == 0) {
+    std::string_view rest = when.substr(2);
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      if (!ParseU64(rest.substr(colon + 1), &spec->seed)) return false;
+      rest = rest.substr(0, colon);
+    }
+    if (!ParseProbability(rest, &spec->probability)) return false;
+    spec->trigger = FailPointSpec::Trigger::kProbability;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<FailPointSpec> FailPointSpec::Parse(std::string_view text) {
+  FailPointSpec spec;
+  std::string_view what = text;
+  const std::size_t at = text.find('@');
+  if (at != std::string_view::npos) {
+    what = text.substr(0, at);
+    if (!ParseWhen(text.substr(at + 1), &spec)) return std::nullopt;
+  }
+  if (what == "oom") {
+    spec.action = Action::kBadAlloc;
+    return spec;
+  }
+  if (what.rfind("short:", 0) == 0) {
+    if (!ParseU64(what.substr(6), &spec.cap) || spec.cap == 0) {
+      return std::nullopt;
+    }
+    spec.action = Action::kShortIo;
+    return spec;
+  }
+  spec.err = LookupErrno(what);
+  if (spec.err == 0) return std::nullopt;
+  spec.action = Action::kErrno;
+  return spec;
+}
+
+std::optional<FailPointHit> FailPoint::Evaluate() {
+  if (!armed_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  ++calls_;
+  bool fire = false;
+  bool exhausted = false;
+  switch (spec_.trigger) {
+    case FailPointSpec::Trigger::kAlways:
+      fire = true;
+      break;
+    case FailPointSpec::Trigger::kTimes:
+      fire = fired_ < spec_.times;
+      exhausted = fired_ + 1 >= spec_.times;
+      break;
+    case FailPointSpec::Trigger::kEveryNth:
+      fire = calls_ % spec_.period == 0;
+      break;
+    case FailPointSpec::Trigger::kProbability:
+      fire = rng_.NextDouble() < spec_.probability;
+      break;
+  }
+  if (!fire) return std::nullopt;
+  ++fired_;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  if (exhausted) armed_.store(false, std::memory_order_release);
+  return FailPointHit{spec_.action, spec_.err, spec_.cap};
+}
+
+void FailPoint::Arm(const FailPointSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  rng_ = Rng(spec.seed);
+  fired_ = 0;
+  calls_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FailPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map: stable addresses are provided by unique_ptr; ordered
+  // iteration gives TripCounts deterministic output for free.
+  std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> points;
+
+  static Registry& Instance() {
+    static Registry* instance = new Registry;  // never destroyed: sites
+    return *instance;                          // hold references forever
+  }
+};
+
+}  // namespace
+
+FailPoint& FailPoints::Get(std::string_view name) {
+  Registry& reg = Registry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(name);
+  if (it != reg.points.end()) return *it->second;
+  auto point = std::make_unique<FailPoint>(std::string(name));
+  FailPoint& ref = *point;
+  reg.points.emplace(std::string(name), std::move(point));
+  return ref;
+}
+
+bool FailPoints::Arm(std::string_view name, std::string_view spec_text) {
+  const auto spec = FailPointSpec::Parse(spec_text);
+  if (!spec) return false;
+  Get(name).Arm(*spec);
+  return true;
+}
+
+void FailPoints::Arm(std::string_view name, const FailPointSpec& spec) {
+  Get(name).Arm(spec);
+}
+
+void FailPoints::DisableAll() {
+  Registry& reg = Registry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, point] : reg.points) point->Disarm();
+}
+
+std::size_t FailPoints::ConfigureFromEnv(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return 0;
+  std::size_t armed = 0;
+  std::string_view text(raw);
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    const std::string_view pair =
+        semi == std::string_view::npos ? text : text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    if (Arm(pair.substr(0, eq), pair.substr(eq + 1))) ++armed;
+  }
+  return armed;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> FailPoints::TripCounts() {
+  Registry& reg = Registry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+  for (const auto& [name, point] : reg.points) {
+    const std::uint64_t trips = point->trips();
+    if (trips > 0) counts.emplace_back(name, trips);
+  }
+  return counts;
+}
+
+std::uint64_t FailPoints::Trips(std::string_view name) {
+  Registry& reg = Registry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(name);
+  return it != reg.points.end() ? it->second->trips() : 0;
+}
+
+}  // namespace pamakv::util
+
+#endif  // PAMAKV_FAILPOINTS

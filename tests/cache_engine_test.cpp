@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <new>
+#include <vector>
+
 #include "pamakv/cache/penalty_bands.hpp"
 #include "pamakv/policy/no_realloc.hpp"
+#include "pamakv/util/failpoint.hpp"
 
 namespace pamakv {
 namespace {
@@ -220,6 +224,98 @@ TEST(CacheEngineTest, EvictClassLruPicksOldestAcrossSubclasses) {
   EXPECT_TRUE(engine->Contains(1));
   EXPECT_FALSE(engine->Contains(2));
 }
+
+#if PAMAKV_FAILPOINTS
+
+// Byte-for-byte observable state of an engine: every counter, gauge,
+// per-(class, subclass) slab/slot tally, stack depth, and ghost size. Used
+// to prove a mid-store std::bad_alloc rolls everything back exactly.
+struct EngineSnapshot {
+  CacheStats stats;
+  AccessClock clock;
+  std::size_t item_count;
+  std::vector<std::size_t> slab_counts;
+  std::vector<std::size_t> slots_in_use;
+  std::vector<std::size_t> stack_sizes;
+  std::vector<std::size_t> ghost_sizes;
+
+  static EngineSnapshot Of(const CacheEngine& e) {
+    EngineSnapshot s;
+    s.stats = e.stats();
+    s.clock = e.clock();
+    s.item_count = e.item_count();
+    const auto classes = e.classes().num_classes();
+    for (ClassId c = 0; c < classes; ++c) {
+      for (SubclassId sub = 0; sub < e.num_subclasses(); ++sub) {
+        s.slab_counts.push_back(e.pool().SlabCount(c, sub));
+        s.slots_in_use.push_back(e.pool().SlotsInUse(c, sub));
+        s.stack_sizes.push_back(e.SubclassItemCount(c, sub));
+        s.ghost_sizes.push_back(e.GhostOf(c, sub).size());
+      }
+    }
+    return s;
+  }
+
+  void ExpectEq(const EngineSnapshot& other) const {
+    EXPECT_EQ(stats.sets, other.stats.sets);
+    EXPECT_EQ(stats.set_updates, other.stats.set_updates);
+    EXPECT_EQ(stats.set_failures, other.stats.set_failures);
+    EXPECT_EQ(stats.evictions, other.stats.evictions);
+    EXPECT_EQ(stats.ghost_hits, other.stats.ghost_hits);
+    EXPECT_EQ(stats.bytes_stored, other.stats.bytes_stored);
+    EXPECT_EQ(clock, other.clock);
+    EXPECT_EQ(item_count, other.item_count);
+    EXPECT_EQ(slab_counts, other.slab_counts);
+    EXPECT_EQ(slots_in_use, other.slots_in_use);
+    EXPECT_EQ(stack_sizes, other.stack_sizes);
+    EXPECT_EQ(ghost_sizes, other.ghost_sizes);
+  }
+};
+
+TEST(CacheEngineTest, MidStoreOomLeavesEngineUntouched) {
+  auto engine = MakeTinyEngine(4096, /*with_bands=*/true);
+  for (KeyId k = 0; k < 8; ++k) {
+    ASSERT_TRUE(engine->Set(k, 64, 100 + k * 1000).stored);
+  }
+  const auto before = EngineSnapshot::Of(*engine);
+
+  // Every insert of a brand-new key allocates an item table entry (nothing
+  // has been deleted, so the free list is empty) and therefore crosses the
+  // engine.item_alloc seam.
+  ASSERT_TRUE(util::FailPoints::Arm("engine.item_alloc", "oom@once"));
+  EXPECT_THROW(engine->Set(99, 64, 100), std::bad_alloc);
+  util::FailPoints::DisableAll();
+
+  // The failed Set must be invisible: not even the request clock or the
+  // sets counter moved, because the allocation seam sits before any state
+  // change (allocate-then-commit).
+  EngineSnapshot::Of(*engine).ExpectEq(before);
+  EXPECT_FALSE(engine->Contains(99));
+
+  // And the engine is not poisoned: the same Set succeeds afterwards.
+  EXPECT_TRUE(engine->Set(99, 64, 100).stored);
+  EXPECT_TRUE(engine->Contains(99));
+}
+
+TEST(CacheEngineTest, OomDuringOverwriteAlsoRollsBack) {
+  auto engine = MakeTinyEngine();
+  ASSERT_TRUE(engine->Set(1, 50, 100).stored);
+  const auto before = EngineSnapshot::Of(*engine);
+
+  // Overwriting key 1 in place reuses its item, but a cross-class
+  // overwrite of a *new* key still needs a fresh item entry. Arm the seam
+  // and try a new key: rollback must hold with items already resident.
+  ASSERT_TRUE(util::FailPoints::Arm("engine.item_alloc", "oom@once"));
+  EXPECT_THROW(engine->Set(2, 200, 100), std::bad_alloc);
+  util::FailPoints::DisableAll();
+
+  EngineSnapshot::Of(*engine).ExpectEq(before);
+  EXPECT_TRUE(engine->Contains(1));
+  EXPECT_FALSE(engine->Contains(2));
+  EXPECT_TRUE(engine->Set(2, 200, 100).stored);
+}
+
+#endif  // PAMAKV_FAILPOINTS
 
 TEST(CacheEngineTest, SlotsMatchItemCounts) {
   auto engine = MakeTinyEngine();

@@ -1,0 +1,198 @@
+// Unit tests for the failpoint framework itself: spec parsing, trigger
+// semantics (once / x<N> / nth / probability), short-IO caps, environment
+// configuration, and trip accounting. These only exercise real code in a
+// chaos build (-DPAMAKV_FAILPOINTS=ON); in the default build the whole
+// suite skips, matching the zero-overhead-when-off contract.
+
+#include <gtest/gtest.h>
+
+#include "pamakv/util/failpoint.hpp"
+
+#if PAMAKV_FAILPOINTS
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace pamakv::util {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::DisableAll(); }
+};
+
+TEST_F(FailPointTest, ParsesErrnoSpecs) {
+  const auto spec = FailPointSpec::Parse("EMFILE@once");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->action, FailPointSpec::Action::kErrno);
+  EXPECT_EQ(spec->err, EMFILE);
+  EXPECT_EQ(spec->trigger, FailPointSpec::Trigger::kTimes);
+  EXPECT_EQ(spec->times, 1u);
+
+  const auto always = FailPointSpec::Parse("EINTR");
+  ASSERT_TRUE(always.has_value());
+  EXPECT_EQ(always->err, EINTR);
+  EXPECT_EQ(always->trigger, FailPointSpec::Trigger::kAlways);
+}
+
+TEST_F(FailPointTest, ParsesShortIoAndOom) {
+  const auto io = FailPointSpec::Parse("short:7@nth:3");
+  ASSERT_TRUE(io.has_value());
+  EXPECT_EQ(io->action, FailPointSpec::Action::kShortIo);
+  EXPECT_EQ(io->cap, 7u);
+  EXPECT_EQ(io->trigger, FailPointSpec::Trigger::kEveryNth);
+  EXPECT_EQ(io->period, 3u);
+
+  const auto oom = FailPointSpec::Parse("oom@p:0.25:42");
+  ASSERT_TRUE(oom.has_value());
+  EXPECT_EQ(oom->action, FailPointSpec::Action::kBadAlloc);
+  EXPECT_EQ(oom->trigger, FailPointSpec::Trigger::kProbability);
+  EXPECT_DOUBLE_EQ(oom->probability, 0.25);
+  EXPECT_EQ(oom->seed, 42u);
+}
+
+TEST_F(FailPointTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FailPointSpec::Parse("").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EBOGUS").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EINTR@").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EINTR@sometimes").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EINTR@x").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EINTR@nth:0").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EINTR@p:1.5").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("EINTR@p:-0.1").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("short:").has_value());
+  EXPECT_FALSE(FailPointSpec::Parse("short:abc").has_value());
+}
+
+TEST_F(FailPointTest, OnceFiresExactlyOnce) {
+  FailPoint& fp = FailPoints::Get("test.once");
+  const std::uint64_t before = fp.trips();
+  ASSERT_TRUE(FailPoints::Arm("test.once", "ECONNRESET@once"));
+  const auto hit = fp.Evaluate();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, FailPointSpec::Action::kErrno);
+  EXPECT_EQ(hit->err, ECONNRESET);
+  // Self-disarmed: every later evaluation is a miss.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fp.Evaluate().has_value());
+  }
+  EXPECT_EQ(fp.trips(), before + 1);
+}
+
+TEST_F(FailPointTest, TimesFiresExactlyN) {
+  FailPoint& fp = FailPoints::Get("test.times");
+  const std::uint64_t before = fp.trips();
+  ASSERT_TRUE(FailPoints::Arm("test.times", "EIO@x3"));
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fp.Evaluate()) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(fp.trips(), before + 3);
+}
+
+TEST_F(FailPointTest, EveryNthFiresOnSchedule) {
+  FailPoint& fp = FailPoints::Get("test.nth");
+  ASSERT_TRUE(FailPoints::Arm("test.nth", "EAGAIN@nth:3"));
+  // Fires on evaluations 3, 6, 9, ... of the armed spec.
+  std::string pattern;
+  for (int i = 0; i < 9; ++i) {
+    pattern += fp.Evaluate() ? 'X' : '.';
+  }
+  EXPECT_EQ(pattern, "..X..X..X");
+}
+
+TEST_F(FailPointTest, ProbabilityIsSeededAndPlausible) {
+  FailPoint& fp = FailPoints::Get("test.prob");
+  auto draw = [&fp](const char* spec) {
+    EXPECT_TRUE(FailPoints::Arm("test.prob", spec)) << spec;
+    std::string pattern;
+    for (int i = 0; i < 1000; ++i) {
+      pattern += fp.Evaluate() ? 'X' : '.';
+    }
+    return pattern;
+  };
+  const std::string a = draw("EINTR@p:0.5:7");
+  const std::string b = draw("EINTR@p:0.5:7");
+  const std::string c = draw("EINTR@p:0.5:8");
+  // Same seed => identical fault schedule (this is what makes a chaos
+  // seed replayable); different seed => different schedule.
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const auto fires =
+      static_cast<int>(std::count(a.begin(), a.end(), 'X'));
+  EXPECT_GT(fires, 300);
+  EXPECT_LT(fires, 700);
+}
+
+TEST_F(FailPointTest, ShortIoHitCarriesCap) {
+  ASSERT_TRUE(FailPoints::Arm("test.short", "short:1"));
+  const auto hit = FailPoints::Get("test.short").Evaluate();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, FailPointSpec::Action::kShortIo);
+  EXPECT_EQ(hit->cap, 1u);
+}
+
+TEST_F(FailPointTest, ArmRejectsMalformedAndLeavesPointAlone) {
+  ASSERT_TRUE(FailPoints::Arm("test.reject", "EPIPE@x2"));
+  EXPECT_FALSE(FailPoints::Arm("test.reject", "garbage"));
+  // The earlier arm is still active.
+  EXPECT_TRUE(FailPoints::Get("test.reject").Evaluate().has_value());
+}
+
+TEST_F(FailPointTest, DisableAllDisarmsEverything) {
+  ASSERT_TRUE(FailPoints::Arm("test.d1", "EINTR"));
+  ASSERT_TRUE(FailPoints::Arm("test.d2", "oom"));
+  FailPoints::DisableAll();
+  EXPECT_FALSE(FailPoints::Get("test.d1").Evaluate().has_value());
+  EXPECT_FALSE(FailPoints::Get("test.d2").Evaluate().has_value());
+}
+
+TEST_F(FailPointTest, ConfigureFromEnvArmsPairsAndSkipsMalformed) {
+  ::setenv("PAMAKV_FP_TEST_CFG", "test.env1=ENOBUFS@x2;bogus;test.env2=short:4",
+           1);
+  EXPECT_EQ(FailPoints::ConfigureFromEnv("PAMAKV_FP_TEST_CFG"), 2u);
+  ::unsetenv("PAMAKV_FP_TEST_CFG");
+  const auto h1 = FailPoints::Get("test.env1").Evaluate();
+  ASSERT_TRUE(h1.has_value());
+  EXPECT_EQ(h1->err, ENOBUFS);
+  const auto h2 = FailPoints::Get("test.env2").Evaluate();
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(h2->cap, 4u);
+  EXPECT_EQ(FailPoints::ConfigureFromEnv("PAMAKV_FP_TEST_CFG"), 0u);
+}
+
+TEST_F(FailPointTest, TripCountsSurviveDisarm) {
+  ASSERT_TRUE(FailPoints::Arm("test.trips", "EINTR@x5"));
+  FailPoint& fp = FailPoints::Get("test.trips");
+  for (int i = 0; i < 8; ++i) fp.Evaluate();
+  FailPoints::DisableAll();
+  EXPECT_EQ(FailPoints::Trips("test.trips"), 5u);
+  bool found = false;
+  for (const auto& [name, trips] : FailPoints::TripCounts()) {
+    if (name == "test.trips") {
+      EXPECT_EQ(trips, 5u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailPointTest, OomMacroThrowsBadAlloc) {
+  ASSERT_TRUE(FailPoints::Arm("test.oom", "oom@once"));
+  EXPECT_THROW(PAMAKV_FAILPOINT_OOM("test.oom"), std::bad_alloc);
+  EXPECT_NO_THROW(PAMAKV_FAILPOINT_OOM("test.oom"));
+}
+
+}  // namespace
+}  // namespace pamakv::util
+
+#else  // !PAMAKV_FAILPOINTS
+
+TEST(FailPointTest, RequiresChaosBuild) {
+  GTEST_SKIP() << "built without PAMAKV_FAILPOINTS; run the chaos preset";
+}
+
+#endif  // PAMAKV_FAILPOINTS

@@ -10,11 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -23,6 +26,7 @@
 #include "pamakv/net/server.hpp"
 #include "pamakv/sim/experiment.hpp"
 #include "pamakv/util/clock.hpp"
+#include "pamakv/util/failpoint.hpp"
 
 namespace pamakv::net {
 namespace {
@@ -31,6 +35,14 @@ using namespace std::chrono_literals;
 
 class ServerTest : public ::testing::Test {
  protected:
+  void TearDown() override {
+#if PAMAKV_FAILPOINTS
+    // Failpoints are process-global; a test that died mid-storm must not
+    // poison its successors.
+    util::FailPoints::DisableAll();
+#endif
+  }
+
   /// Starts a server on an ephemeral port over `scheme` engines. Lifecycle
   /// knobs go through scfg_ (set before calling); the fixture's FakeClock
   /// is always injected, so timeouts only ever fire via clock_.Advance().
@@ -488,6 +500,216 @@ TEST_F(ServerTest, StatsExposeLifecycleCounters) {
   EXPECT_EQ(Stat(stats, "backpressure_pauses"), 0u);
   EXPECT_EQ(Stat(stats, "backpressure_resumes"), 0u);
 }
+
+TEST_F(ServerTest, RetryPolicyReconnectsAfterIdleReap) {
+  scfg_.idle_timeout_ms = 500;
+  StartServer();
+
+  BlockingClient client;
+  RetryPolicy policy;
+  policy.attempts = 3;
+  policy.backoff_base = std::chrono::milliseconds(0);  // no sleeping in tests
+  client.set_retry_policy(policy);
+  client.Connect("127.0.0.1", server_->port());
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+  // The prober round trip serializes behind the client's post-I/O
+  // activity stamp on the loop thread — without it, Advance below could
+  // slip between the client's reply and its Touch, moving the idle
+  // deadline past the jump.
+  auto prober = Connect();
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 2; }));
+
+  // The prober refreshes itself at 499ms; the retrying client last spoke
+  // at 0ms, so crossing 500ms reaps it — and only it. The client doesn't
+  // know yet.
+  clock_.Advance(499ms);
+  EXPECT_EQ(prober.Version(), "pamakv-0.2");
+  clock_.Advance(2ms);
+  ASSERT_TRUE(
+      WaitUntil([&] { return server_->timed_out_connections() == 1; }));
+  ASSERT_TRUE(WaitUntil([&] { return server_->curr_connections() == 1; }));
+
+  // The next operation hits the dead socket, reconnects under the policy,
+  // and completes transparently — the caller never sees the outage.
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+  EXPECT_EQ(server_->total_connections(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (chaos builds only). Each test arms named failpoints in
+// the server's syscall/allocation seams and asserts the hardening holds:
+// no lost responses, no leaked fds, no inconsistent cache state.
+// ---------------------------------------------------------------------------
+
+#if PAMAKV_FAILPOINTS
+
+/// Open descriptors in this process, via /proc/self/fd.
+std::size_t OpenFdCount() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n >= 3 ? n - 3 : 0;  // ".", "..", and the dirfd itself
+}
+
+TEST_F(ServerTest, EmfileAcceptShedsPausesAndRecovers) {
+  scfg_.accept_retry_ms = 10;
+  StartServer();
+
+  // Five consecutive EMFILEs from accept4: the first pair (accept + shed's
+  // accept) forces pause #1, the next pair pause #2, the fifth exhausts
+  // the spec mid-shed so the shed's accept goes through for real.
+  ASSERT_TRUE(util::FailPoints::Arm("net.accept4", "EMFILE@x5"));
+
+  // The kernel completes this handshake into the backlog even though the
+  // server cannot accept it yet.
+  auto victim = Connect();
+  ASSERT_TRUE(WaitUntil([&] { return server_->accept_pauses() == 1; }));
+
+  // While paused the loop must sleep, not spin: over 100ms of real time it
+  // may wake a handful of times (the pending fake-timer's epoll timeout),
+  // never thousands.
+  const std::uint64_t cycles_before = server_->LoopIterations();
+  std::this_thread::sleep_for(100ms);
+  EXPECT_LT(server_->LoopIterations() - cycles_before, 50u)
+      << "accept pause is busy-spinning the event loop";
+
+  clock_.Advance(11ms);  // retry #1: still EMFILE, pause again
+  ASSERT_TRUE(WaitUntil([&] { return server_->accept_pauses() == 2; }));
+
+  clock_.Advance(11ms);  // retry #2: spec exhausts mid-shed -> shed lands
+  ASSERT_TRUE(WaitUntil([&] { return server_->emfile_sheds() == 1; }));
+
+  // The shed connection was told why, then closed.
+  EXPECT_EQ(victim.ReadLine(), "SERVER_ERROR out of file descriptors");
+  ExpectConnectionGone(victim);
+
+  // Accepting has fully recovered, and the storm shows up in stats.
+  auto client = Connect();
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+  const auto stats = client.Stats();
+  EXPECT_EQ(Stat(stats, "emfile_sheds"), 1u);
+  EXPECT_EQ(Stat(stats, "accept_pauses"), 2u);
+  EXPECT_EQ(Stat(stats, "failpoint.net.accept4"), 5u);
+}
+
+TEST_F(ServerTest, OneByteWritesDeliverPipelinedResponsesIntact) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("k", 3, "payload"));
+
+  // Every server-side write now moves exactly one byte; each response
+  // dribbles out over dozens of EPOLLOUT resumptions.
+  ASSERT_TRUE(util::FailPoints::Arm("net.writev", "short:1"));
+  constexpr int kGets = 400;
+  std::string pipeline;
+  for (int i = 0; i < kGets; ++i) pipeline += "get k\r\n";
+  client.SendRaw(pipeline);
+
+  // Byte-identical responses, in order, nothing dropped or duplicated.
+  for (int i = 0; i < kGets; ++i) {
+    ASSERT_EQ(client.ReadLine(), "VALUE k 3 7") << "response " << i;
+    ASSERT_EQ(client.ReadLine(), "payload") << "response " << i;
+    ASSERT_EQ(client.ReadLine(), "END") << "response " << i;
+  }
+  util::FailPoints::DisableAll();
+  EXPECT_GT(util::FailPoints::Trips("net.writev"), 1000u);
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+}
+
+TEST_F(ServerTest, OomDuringStoreAnswersServerErrorAndRollsBack) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("resident", 1, "untouchable"));
+  const auto before = client.Stats();
+
+  // The service-layer allocation (key/value string storage) fails once.
+  ASSERT_TRUE(util::FailPoints::Arm("svc.store_bytes", "oom@once"));
+  try {
+    client.Set("victim", 0, "value");
+    FAIL() << "expected SERVER_ERROR";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.kind(), ClientError::Kind::kServerError);
+    EXPECT_STREQ(e.what(), "SERVER_ERROR out of memory storing object");
+  }
+  util::FailPoints::DisableAll();
+
+  // The failed store is invisible (gauges unchanged), the connection
+  // stayed up, and the same Set succeeds afterwards.
+  const auto after = client.Stats();
+  EXPECT_EQ(Stat(after, "bytes"), Stat(before, "bytes"));
+  EXPECT_EQ(Stat(after, "curr_items"), Stat(before, "curr_items"));
+  EXPECT_EQ(Stat(after, "failpoint.svc.store_bytes"), 1u);
+  std::string value;
+  ASSERT_TRUE(client.Get("resident", value));
+  EXPECT_EQ(value, "untouchable");
+  ASSERT_TRUE(client.Set("victim", 0, "value"));
+  ASSERT_TRUE(client.Get("victim", value));
+  EXPECT_EQ(value, "value");
+}
+
+TEST_F(ServerTest, OomInEngineItemTableAlsoAnswersServerError) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("resident", 1, "untouchable"));
+  const auto before = client.Stats();
+
+  // Deeper seam: the engine's item-table growth throws while the service
+  // layer has already resolved the shard — rollback must span both layers.
+  ASSERT_TRUE(util::FailPoints::Arm("engine.item_alloc", "oom@once"));
+  try {
+    client.Set("victim", 0, "value");
+    FAIL() << "expected SERVER_ERROR";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.kind(), ClientError::Kind::kServerError);
+  }
+  util::FailPoints::DisableAll();
+
+  const auto after = client.Stats();
+  EXPECT_EQ(Stat(after, "bytes"), Stat(before, "bytes"));
+  EXPECT_EQ(Stat(after, "curr_items"), Stat(before, "curr_items"));
+  std::string value;
+  EXPECT_FALSE(client.Get("victim", value));
+  ASSERT_TRUE(client.Set("victim", 0, "value"));
+  ASSERT_TRUE(client.Get("victim", value));
+  EXPECT_EQ(value, "value");
+}
+
+TEST_F(ServerTest, FailedStartLeaksNoDescriptorsAndIsRetryable) {
+  const std::size_t fds_before = OpenFdCount();
+  ASSERT_TRUE(util::FailPoints::Arm("net.socket", "EMFILE@once"));
+  EXPECT_THROW(StartServer(), std::system_error);
+  util::FailPoints::DisableAll();
+  server_.reset();
+  service_.reset();
+  EXPECT_EQ(OpenFdCount(), fds_before);
+
+  // Nothing half-open lingers: the next Start works.
+  StartServer();
+  auto client = Connect();
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+}
+
+TEST_F(ServerTest, EventLoopSetupFailureCleansUpListener) {
+  const std::size_t fds_before = OpenFdCount();
+  // The listener socket opens fine; the loop's eventfd then fails. Start
+  // must close the already-bound listener (and the EMFILE spare) on the
+  // way out.
+  ASSERT_TRUE(util::FailPoints::Arm("net.eventfd", "EMFILE@once"));
+  EXPECT_THROW(StartServer(), std::system_error);
+  util::FailPoints::DisableAll();
+  server_.reset();
+  service_.reset();
+  EXPECT_EQ(OpenFdCount(), fds_before);
+
+  StartServer();
+  auto client = Connect();
+  EXPECT_EQ(client.Version(), "pamakv-0.2");
+}
+
+#endif  // PAMAKV_FAILPOINTS
 
 TEST_F(ServerTest, AbruptStopSurfacesTypedClientError) {
   StartServer();
