@@ -15,14 +15,23 @@
 //   build/server/pamakv-server --policy=pama --port=11311 &
 //   build/bench/loadgen --port=11311 --connections=1,4 --ops=200000
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -30,6 +39,7 @@
 #include "pamakv/util/types.hpp"
 #include "pamakv/util/arg_parser.hpp"
 #include "pamakv/util/histogram.hpp"
+#include "pamakv/util/metrics.hpp"
 #include "pamakv/util/rng.hpp"
 #include "pamakv/util/zipf.hpp"
 
@@ -49,6 +59,13 @@ struct RunResult {
   double max_us = 0.0;
   double hit_ratio = 0.0;
   std::uint64_t errors = 0;  ///< connection-level ClientErrors survived
+  // Server-side service-time quantiles for this phase, from diffing the
+  // Prometheus endpoint's cumulative pamakv_service_time_us buckets
+  // before/after the run. 0 when --metrics-port was not given.
+  bool have_server_latency = false;
+  double server_p50_us = 0.0;
+  double server_p99_us = 0.0;
+  double server_p999_us = 0.0;
 };
 
 struct WorkerConfig {
@@ -194,17 +211,131 @@ RunResult Measure(const WorkerConfig& base, std::size_t connections,
   return result;
 }
 
+// ---- Prometheus endpoint scraping (server-side latency) ----
+
+/// One HTTP/1.0 GET; returns the response body ("" on any failure — the
+/// bench then simply reports no server-side quantiles for the phase).
+std::string HttpGetBody(const std::string& host, std::uint16_t port,
+                        const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto split = response.find("\r\n\r\n");
+  if (split == std::string::npos || response.compare(0, 9, "HTTP/1.0 ") != 0 ||
+      response.compare(9, 3, "200") != 0) {
+    return "";
+  }
+  return response.substr(split + 4);
+}
+
+/// Cumulative service-time buckets per verb: verb -> le -> cumulative
+/// count (le = +inf included, as infinity()).
+using VerbBuckets = std::map<std::string, std::map<double, std::uint64_t>>;
+
+VerbBuckets ScrapeServiceBuckets(const std::string& host,
+                                 std::uint16_t port) {
+  VerbBuckets out;
+  const std::string body = HttpGetBody(host, port, "/metrics");
+  constexpr std::string_view kPrefix = "pamakv_service_time_us_bucket{";
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(body.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.substr(0, kPrefix.size()) != kPrefix) continue;
+    const auto GrabLabel = [&](std::string_view name) -> std::string_view {
+      const std::string pat = std::string(name) + "=\"";
+      const auto at = line.find(pat);
+      if (at == std::string_view::npos) return {};
+      const auto begin = at + pat.size();
+      const auto end = line.find('"', begin);
+      return line.substr(begin, end - begin);
+    };
+    const std::string_view verb = GrabLabel("verb");
+    const std::string_view le = GrabLabel("le");
+    const auto sp = line.rfind(' ');
+    if (verb.empty() || le.empty() || sp == std::string_view::npos) continue;
+    const double bound =
+        le == "+Inf" ? std::numeric_limits<double>::infinity()
+                     : std::strtod(std::string(le).c_str(), nullptr);
+    const std::uint64_t cum =
+        std::strtoull(std::string(line.substr(sp + 1)).c_str(), nullptr, 10);
+    out[std::string(verb)][bound] = cum;
+  }
+  return out;
+}
+
+/// Diffs two scrapes and folds every verb into one merged snapshot, so the
+/// reported quantiles cover the phase's full request mix.
+util::HistogramSnapshot DiffServiceBuckets(const VerbBuckets& before,
+                                           const VerbBuckets& after) {
+  util::HistogramSnapshot merged;
+  for (const auto& [verb, cum_after] : after) {
+    util::HistogramSnapshot one;
+    const auto it = before.find(verb);
+    std::uint64_t prev_cum = 0;
+    std::uint64_t prev_before = 0;
+    for (const auto& [bound, cum] : cum_after) {
+      std::uint64_t before_cum = 0;
+      if (it != before.end()) {
+        const auto bit = it->second.find(bound);
+        if (bit != it->second.end()) before_cum = bit->second;
+      }
+      const std::uint64_t delta = (cum - prev_cum) - (before_cum - prev_before);
+      prev_cum = cum;
+      prev_before = before_cum;
+      if (std::isinf(bound)) {
+        one.total += delta;  // +Inf overflow bucket: counts, no bound
+        continue;
+      }
+      one.bounds.push_back(bound);
+      one.counts.push_back(delta);
+      one.total += delta;
+    }
+    merged.Merge(one);
+  }
+  return merged;
+}
+
 void WriteCsv(std::ostream& out, const std::vector<RunResult>& rows) {
   out << "connections,ops,wall_seconds,kops,p50_us,p99_us,max_us,"
-         "hit_ratio,sets,errors\n";
+         "hit_ratio,sets,errors,server_p50_us,server_p99_us,server_p999_us\n";
   for (const auto& r : rows) {
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof line,
-                  "%zu,%llu,%.4f,%.2f,%.1f,%.1f,%.1f,%.4f,%llu,%llu\n",
+                  "%zu,%llu,%.4f,%.2f,%.1f,%.1f,%.1f,%.4f,%llu,%llu,"
+                  "%.2f,%.2f,%.2f\n",
                   r.connections, static_cast<unsigned long long>(r.ops),
                   r.wall_seconds, r.kops, r.p50_us, r.p99_us, r.max_us,
                   r.hit_ratio, static_cast<unsigned long long>(r.sets),
-                  static_cast<unsigned long long>(r.errors));
+                  static_cast<unsigned long long>(r.errors), r.server_p50_us,
+                  r.server_p99_us, r.server_p999_us);
     out << line;
   }
 }
@@ -230,10 +361,13 @@ void WriteJson(std::ostream& out, const std::string& host, std::uint16_t port,
                   "    {\"connections\": %zu, \"ops\": %llu, "
                   "\"wall_seconds\": %.4f, \"kops\": %.2f, "
                   "\"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, "
-                  "\"hit_ratio\": %.4f, \"errors\": %llu}%s\n",
+                  "\"hit_ratio\": %.4f, \"errors\": %llu, "
+                  "\"server_p50_us\": %.2f, \"server_p99_us\": %.2f, "
+                  "\"server_p999_us\": %.2f}%s\n",
                   r.connections, static_cast<unsigned long long>(r.ops),
                   r.wall_seconds, r.kops, r.p50_us, r.p99_us, r.max_us,
                   r.hit_ratio, static_cast<unsigned long long>(r.errors),
+                  r.server_p50_us, r.server_p99_us, r.server_p999_us,
                   i + 1 < rows.size() ? "," : "");
     out << buf;
   }
@@ -267,7 +401,10 @@ int Main(int argc, char** argv) {
       .Describe("keys", "distinct keys (default 100000)")
       .Describe("alpha", "Zipf skew (default 1.0)")
       .Describe("set-ratio", "fraction of blind SETs (default 0.1)")
-      .Describe("out-root", "directory for BENCH_server.json + results/");
+      .Describe("out-root", "directory for BENCH_server.json + results/")
+      .Describe("metrics-port",
+                "server's --metrics-port; scraped between phases so each "
+                "run reports server-side p50/p99/p999 (off unless given)");
   if (args.HelpRequested()) {
     args.PrintHelp(std::cout, "loadgen",
                    "closed-loop memcached-protocol load generator");
@@ -296,16 +433,42 @@ int Main(int argc, char** argv) {
   base.key_space = keys;
   base.set_ratio = set_ratio;
 
+  const auto metrics_port =
+      static_cast<std::uint16_t>(args.GetInt("metrics-port", 0));
+
   std::vector<RunResult> rows;
   for (const std::size_t connections : conn_list) {
+    // Scrape the endpoint around the phase: the cumulative bucket diff is
+    // exactly this phase's server-side latency distribution (warmup ops
+    // land in the 'before' scrape only for earlier phases; the first
+    // phase's warmup is included — acceptable for a closed-loop bench).
+    VerbBuckets before;
+    if (metrics_port != 0) before = ScrapeServiceBuckets(host, metrics_port);
     rows.push_back(Measure(base, connections, zipf, ops));
-    const RunResult& r = rows.back();
+    RunResult& r = rows.back();
+    if (metrics_port != 0) {
+      const VerbBuckets after = ScrapeServiceBuckets(host, metrics_port);
+      const util::HistogramSnapshot phase =
+          DiffServiceBuckets(before, after);
+      if (phase.total > 0) {
+        r.have_server_latency = true;
+        r.server_p50_us = phase.Quantile(0.50);
+        r.server_p99_us = phase.Quantile(0.99);
+        r.server_p999_us = phase.Quantile(0.999);
+      }
+    }
     std::fprintf(stderr,
                  "# conns=%zu %8.1f kops/s p50=%.0fus p99=%.0fus "
                  "hit=%.3f wall=%.2fs errors=%llu\n",
                  r.connections, r.kops, r.p50_us, r.p99_us, r.hit_ratio,
                  r.wall_seconds,
                  static_cast<unsigned long long>(r.errors));
+    if (r.have_server_latency) {
+      std::fprintf(stderr,
+                   "#          server-side p50=%.1fus p99=%.1fus "
+                   "p999=%.1fus\n",
+                   r.server_p50_us, r.server_p99_us, r.server_p999_us);
+    }
   }
 
   const auto json_path = std::filesystem::path(root) / "BENCH_server.json";

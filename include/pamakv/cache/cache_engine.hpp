@@ -106,6 +106,13 @@ class CacheEngine {
     return StackOf(c, s).size();
   }
 
+  /// GET misses whose key was found in (c, s)'s ghost list — the
+  /// per-subclass breakdown of stats().ghost_hits (the metrics layer
+  /// exports these as pamakv_ghost_hits{class,band} counters).
+  [[nodiscard]] std::uint64_t GhostHitCount(ClassId c, SubclassId s) const {
+    return ghost_hits_by_stack_[StackIndex(c, s)];
+  }
+
   // ---- Policy-facing mechanics ----
   // These are the primitive moves policies compose. They are public rather
   // than friend-scoped so user-defined policies (examples/custom_policy)
@@ -182,6 +189,8 @@ class CacheEngine {
   std::vector<ItemHandle> free_items_;
   std::vector<LruStack> stacks_;
   std::vector<GhostList> ghosts_;
+  /// Ghost hits per (class, subclass), indexed like stacks_.
+  std::vector<std::uint64_t> ghost_hits_by_stack_;
   std::unique_ptr<AllocationPolicy> policy_;
   CacheStats stats_;
   AccessClock clock_ = 0;

@@ -19,7 +19,7 @@ struct StatEntry {
 /// Fixed-size list of (name, value) pairs in memcached `stats` spelling;
 /// built by CacheStats::Snapshot(). An array (not a map) so producing a
 /// snapshot never allocates.
-inline constexpr std::size_t kStatsSnapshotEntries = 12;
+inline constexpr std::size_t kStatsSnapshotEntries = 13;
 using StatsSnapshot = std::array<StatEntry, kStatsSnapshotEntries>;
 
 struct CacheStats {
@@ -36,6 +36,12 @@ struct CacheStats {
   /// Sum of miss penalties charged to GET misses, in microseconds. Average
   /// GET service time = (penalty_total + hits * hit_time) / gets.
   std::uint64_t miss_penalty_total_us = 0;
+  /// Sum over GET hits of the hit item's stored miss penalty (µs): the
+  /// penalty the cache avoided by holding the item. Together with
+  /// miss_penalty_total_us this is the live penalty-saved estimate the
+  /// metrics layer exports (a penalty-blind LRU baseline saves the same
+  /// hit count but not the same penalty mass).
+  std::uint64_t hit_penalty_saved_us = 0;
   /// Gauge (not a monotonic counter): bytes of item payload currently
   /// stored, maintained by the engine on insert/overwrite/removal. Under
   /// Since() it diffs to the net change over the window; under operator+=

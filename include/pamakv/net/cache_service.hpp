@@ -34,6 +34,7 @@
 
 #include "pamakv/cache/cache_engine.hpp"
 #include "pamakv/cache/sharded_cache.hpp"
+#include "pamakv/util/metrics.hpp"
 
 namespace pamakv::net {
 
@@ -73,8 +74,27 @@ class CacheService {
   /// Appends the full "STAT name value\r\n"* + "END\r\n" payload for the
   /// `stats` command: CacheStats::Snapshot() totals plus service gauges
   /// and, when registered, the extra appender's lines (the Server wires
-  /// its connection/lifecycle counters in here).
-  void AppendStats(std::vector<char>& out) const;
+  /// its connection/lifecycle counters in here). With detail=true (the
+  /// `stats detail` command) and a registry wired via RegisterMetrics,
+  /// every metrics-registry series is appended as a STAT line, rendered
+  /// from the same snapshot type the Prometheus endpoint serves.
+  void AppendStats(std::vector<char>& out, bool detail = false) const;
+
+  /// Wires the service's introspection into `registry` as callback
+  /// gauges, evaluated under the shard locks at snapshot time so the
+  /// request hot path never touches a metric it does not already own:
+  ///   pamakv_slabs{class,band}            per-subclass slab count
+  ///   pamakv_subclass_items{class,band}   items per subclass
+  ///   pamakv_ghost_hits{class,band}       ghost receiving-segment hits
+  ///   pamakv_free_slabs / pamakv_total_slabs
+  ///   pamakv_<stat> for every CacheStats counter (summed over shards)
+  /// and, when the shards run PamaPolicy, the value-flow telemetry:
+  ///   pamakv_pama_decisions_total{shard}, pamakv_pama_outgoing_value_sum,
+  ///   pamakv_pama_incoming_value_sum, pamakv_pama_migration_benefit_sum,
+  ///   pamakv_pama_last_{outgoing,incoming}_value{shard} and the
+  ///   band-to-band matrix pamakv_pama_migration_flow_total{from,to}.
+  /// Keeps a pointer to `registry` for `stats detail`.
+  void RegisterMetrics(util::MetricsRegistry& registry);
 
   /// Registers (or clears, with nullptr) an extra "STAT ..." appender run
   /// inside AppendStats before the END line. Thread-safe.
@@ -119,9 +139,21 @@ class CacheService {
   /// and verified, nullptr otherwise.
   Entry* VerifiedLive(Shard& shard, KeyId id, std::string_view key);
 
+  /// Per-subclass sum of a counter across shards, under each shard's lock.
+  template <typename Fn>
+  [[nodiscard]] double SumOverShards(Fn fn) const {
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += fn(*shard->engine);
+    }
+    return total;
+  }
+
   std::vector<std::unique_ptr<Shard>> shards_;
   MicroSecs default_penalty_us_;
   Bytes default_size_;
+  util::MetricsRegistry* metrics_ = nullptr;  ///< set by RegisterMetrics
 
   mutable std::mutex extra_stats_mu_;
   std::function<void(std::vector<char>&)> extra_stats_;

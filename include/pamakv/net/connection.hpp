@@ -19,10 +19,25 @@
 #include <vector>
 
 #include "pamakv/net/protocol.hpp"
+#include "pamakv/util/clock.hpp"
+#include "pamakv/util/metrics.hpp"
 
 namespace pamakv::net {
 
 class CacheService;
+
+/// Shared per-server instrumentation hooks a Connection records into.
+/// All pointers may be null (that series is simply not recorded); the
+/// whole struct is optional — a connection without one (the default, and
+/// what the zero-allocation harness drives) takes no timestamps at all.
+/// Histogram::Observe is wait-free, so one struct is safely shared by
+/// every connection across all loop threads.
+struct ConnectionMetrics {
+  util::Clock* clock = nullptr;
+  /// Service time per command verb, µs: command dispatch through response
+  /// bytes appended (for `set`, payload completion through STORED).
+  util::Histogram* service_us[kNumVerbs] = {};
+};
 
 /// Socket-facing result of OnReadable/FlushOutput.
 enum class IoStatus : std::uint8_t {
@@ -106,6 +121,12 @@ class Connection {
     pause_threshold_ = bytes;
   }
 
+  /// Wires the per-verb latency hooks (nullptr disables; the default).
+  /// The struct must outlive the connection — the Server owns one.
+  void set_metrics(const ConnectionMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
   /// Scratch slots for the serving loop's per-connection lifecycle timer
   /// (the Connection itself never touches the loop).
   std::uint64_t lifecycle_timer = 0;
@@ -118,6 +139,8 @@ class Connection {
   void ExecuteLine(const Command& cmd);
   void ExecuteRetrieval(const Command& cmd);
   void FinishSet(std::string_view data);
+  /// Records `verb`'s service time from `start_ns` to now, when wired.
+  void ObserveVerb(Verb verb, std::int64_t start_ns) noexcept;
   void ReleaseConsumed();
   void FatalClientError(std::string_view message);
 
@@ -146,6 +169,7 @@ class Connection {
   std::int64_t request_start_ns_ = -1;  ///< -1: no request in flight
   bool paused_ = false;
   std::size_t pause_threshold_ = 0;
+  const ConnectionMetrics* metrics_ = nullptr;
 };
 
 }  // namespace pamakv::net

@@ -40,6 +40,10 @@ enum class Verb : std::uint8_t {
   kVersion,
   kQuit,
 };
+inline constexpr std::size_t kNumVerbs = 8;
+
+/// Wire spelling of a verb ("get", "flush_all", ...); metric labels.
+[[nodiscard]] std::string_view VerbName(Verb v) noexcept;
 
 /// One parsed command line. Keys are views into the buffer the line was
 /// parsed from — valid only until that buffer is consumed or compacted.
@@ -51,6 +55,9 @@ struct Command {
   std::uint64_t exptime = 0;   ///< parsed, unused (the engine has no TTLs)
   std::uint64_t value_bytes = 0;  ///< set: payload length that follows
   bool noreply = false;
+  /// `stats detail`: append the metrics-registry series (per-class slab
+  /// gauges, PAMA value flow, latency histograms) after the base stats.
+  bool stats_detail = false;
 };
 
 enum class ParseStatus : std::uint8_t {

@@ -40,6 +40,7 @@
 #include "pamakv/net/connection.hpp"
 #include "pamakv/net/event_loop.hpp"
 #include "pamakv/util/clock.hpp"
+#include "pamakv/util/metrics.hpp"
 
 namespace pamakv::net {
 
@@ -72,6 +73,12 @@ class Server {
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
+
+  /// Wires per-verb service-time histograms (pamakv_service_time_us{verb}),
+  /// the tx-flush histogram (pamakv_tx_flush_us) and connection gauges
+  /// into `registry`. Call before Start(); `registry` must outlive the
+  /// server. Connections accepted afterwards record into the histograms.
+  void EnableMetrics(util::MetricsRegistry& registry);
 
   /// Binds, listens and spawns the loop threads. Throws std::system_error
   /// on socket errors (e.g. port in use).
@@ -185,6 +192,10 @@ class Server {
   ServerConfig config_;
   CacheService* service_;
   util::Clock* clock_;
+  /// Latency hooks shared by every connection; inert until EnableMetrics
+  /// fills it (clock_ set <=> enabled).
+  ConnectionMetrics conn_metrics_;
+  util::Histogram* tx_flush_us_ = nullptr;
   int listen_fd_ = -1;
   /// Reserved fd (an open /dev/null) sacrificed during EMFILE so accept
   /// can momentarily succeed; -1 outside Start..Teardown.

@@ -60,6 +60,35 @@ class PamaPolicy final : public AllocationPolicy {
   };
   [[nodiscard]] const Decisions& decisions() const noexcept { return decisions_; }
 
+  /// Running view of the value comparison at each MakeRoom decision —
+  /// what the candidate donor's outgoing value was, what the requester's
+  /// incoming value was, and (summed over *executed* migrations) the
+  /// estimated penalty mass saved relative to not moving the slab. This
+  /// is the live counterpart of the paper's penalty-saved argument; the
+  /// metrics layer exports the sums and the last comparison as gauges.
+  struct ValueFlow {
+    std::uint64_t decisions = 0;         ///< MakeRoom calls with a donor
+    double outgoing_sum = 0.0;           ///< Σ donor outgoing value
+    double incoming_sum = 0.0;           ///< Σ requester incoming value
+    /// Σ (incoming - outgoing) over migrations actually performed: the
+    /// penalty-saved-vs-staying-put estimate, in weighted penalty µs.
+    double migration_benefit_sum = 0.0;
+    double last_outgoing = 0.0;
+    double last_incoming = 0.0;
+  };
+  [[nodiscard]] const ValueFlow& value_flow() const noexcept {
+    return value_flow_;
+  }
+
+  /// Slabs migrated from a donor in penalty band `from` to a requester in
+  /// band `to` (bands collapse classes: the paper's Fig. 3/4 story is
+  /// about penalty bands gaining space from low-penalty bands).
+  [[nodiscard]] std::uint64_t MigrationFlow(SubclassId from,
+                                            SubclassId to) const {
+    return migration_flow_[static_cast<std::size_t>(from) * num_bands_ + to];
+  }
+  [[nodiscard]] std::uint32_t flow_bands() const noexcept { return num_bands_; }
+
  private:
   struct Candidate {
     ClassId cls = 0;
@@ -71,6 +100,10 @@ class PamaPolicy final : public AllocationPolicy {
   PamaConfig config_;
   std::unique_ptr<PamaValueTracker> tracker_;
   Decisions decisions_;
+  ValueFlow value_flow_;
+  /// band × band migration counts, row-major by source band.
+  std::vector<std::uint64_t> migration_flow_;
+  std::uint32_t num_bands_ = 0;
   AccessClock window_start_ = 0;
   AccessClock now_ = 0;
   /// Access clock of each subclass's most recent slab grant (grace period).

@@ -51,8 +51,19 @@ class LogHistogram {
   [[nodiscard]] double BucketHigh(std::size_t i) const;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
-  /// Approximate quantile q in [0,1] using bucket interpolation.
+  /// Approximate quantile q in [0,1] using bucket interpolation. The
+  /// target rank is max(1, ceil(q * total)) — 1-based like a sorted
+  /// vector — so leading empty buckets can never answer for a nonzero
+  /// population and q=1.0 lands in the last occupied bucket. Empty
+  /// histogram => 0.
   [[nodiscard]] double Quantile(double q) const;
+
+  /// Accumulates `other` into this histogram. Identical layouts (same
+  /// range and bucket count) add bucket-wise; mismatched layouts re-bin
+  /// each foreign bucket at its geometric midpoint into this histogram's
+  /// buckets — bounded error of one bucket width instead of the silently
+  /// wrong tail a positional copy would produce.
+  void Merge(const LogHistogram& other);
 
   void Reset() noexcept;
 

@@ -1,0 +1,222 @@
+// util/metrics: a lock-cheap metrics registry for live observability.
+//
+// Three instrument kinds, all safe to update from any thread with no lock
+// on the hot path:
+//
+//  * Counter   — monotonic; increments go to one of a fixed set of
+//                cache-line-padded stripes picked by thread id, so
+//                concurrent writers do not bounce a shared line.
+//  * Gauge     — a level (may go down). Two flavors: a settable atomic,
+//                and a callback evaluated at snapshot time (for values
+//                derived from state behind existing locks, e.g. per-shard
+//                engine introspection — the hot path never touches them).
+//  * Histogram — log-spaced buckets over [min, max] (same bucket math as
+//                util/histogram.hpp's LogHistogram) with one relaxed
+//                atomic per bucket plus count/sum, built for latency
+//                recording: Observe() is two relaxed fetch_adds and never
+//                allocates, which keeps the zero-steady-state-alloc
+//                harness green.
+//
+// Instruments are registered once at startup (registration allocates and
+// takes the registry mutex; lookups by the hot path are done via the
+// returned reference, never by name). A snapshot merges every stripe /
+// bucket into plain structs; renderers produce Prometheus text exposition
+// (RenderPrometheus) and CSV rows (AppendCsv) from the same snapshot, so
+// every export surface reports identical values by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pamakv::util {
+
+/// Stripes per counter. Power of two; 8 × 64B = one line per stripe,
+/// enough that a handful of loop threads rarely share one.
+inline constexpr std::size_t kCounterStripes = 8;
+
+/// Monotonic counter, striped by thread. Inc is wait-free and allocation-
+/// free; Value() sums the stripes (racy reads are fine — each stripe is
+/// monotone, so the sum never goes backwards between calls).
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) noexcept {
+    stripes_[StripeIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t Value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static std::size_t StripeIndex() noexcept;
+
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes_[kCounterStripes];
+};
+
+/// Settable level. Updates are expected to happen under the owner's own
+/// serialization (e.g. a shard lock); the atomic only makes snapshot reads
+/// well-defined.
+class Gauge {
+ public:
+  void Set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Plain-struct view of one histogram, merged across writers. Buckets are
+/// non-cumulative counts; `bounds[i]` is bucket i's inclusive upper edge.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  double sum = 0.0;  ///< sum of observed values
+
+  /// Quantile by bucket midpoint against the same edge conventions the
+  /// LogHistogram fix locked in: empty => 0, q clamps to [0,1], the
+  /// target rank is max(1, ceil(q * total)).
+  [[nodiscard]] double Quantile(double q) const;
+
+  /// Accumulates `other` into this snapshot. Identical bucket layouts add
+  /// directly; mismatched layouts are re-binned by bucket midpoint (same
+  /// policy as LogHistogram::Merge) so a p999 over merged data is never
+  /// computed against the wrong edges.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed histogram with atomic buckets. Bucket index math is
+/// identical to LogHistogram's (values outside [min, max] clamp into the
+/// edge buckets); counts and sum are relaxed atomics so Observe() is safe
+/// from any thread and allocation-free.
+class Histogram {
+ public:
+  Histogram(double min_value, double max_value, std::size_t buckets);
+
+  void Observe(double value) noexcept {
+    counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    // Fixed-point micro-units: atomic<double> fetch_add is not lock-free
+    // everywhere, and latencies are microseconds-scale doubles — 1e-6
+    // resolution loses nothing we report.
+    sum_fp_.fetch_add(static_cast<std::uint64_t>(value * 1e6),
+                      std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] double BucketHigh(std::size_t i) const;
+
+  [[nodiscard]] HistogramSnapshot Snapshot() const;
+
+ private:
+  [[nodiscard]] std::size_t BucketIndex(double value) const noexcept;
+
+  double log_min_;
+  double log_max_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_storage_;
+  // span view over counts_storage_ (atomics are not movable/copyable, so
+  // a vector cannot hold them directly).
+  struct {
+    std::atomic<std::uint64_t>* data_;
+    std::size_t size_;
+    std::atomic<std::uint64_t>& operator[](std::size_t i) const {
+      return data_[i];
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  } counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_fp_{0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One instrument's merged value at snapshot time.
+struct MetricSample {
+  std::string name;    ///< family name, e.g. "pamakv_ops_total"
+  std::string labels;  ///< preformatted label set, e.g. {verb="get"} ("" = none)
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;            ///< counter/gauge value
+  HistogramSnapshot histogram;   ///< kind == kHistogram only
+};
+
+/// Full registry snapshot; what every renderer consumes.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Prometheus text exposition format 0.0.4 (# HELP/# TYPE + series).
+  [[nodiscard]] std::string RenderPrometheus() const;
+  /// One CSV row per series: <elapsed_ms>,<name><labels>,<value>.
+  /// Histograms emit _count, _sum and per-quantile rows.
+  void AppendCsv(std::string& out, std::int64_t elapsed_ms) const;
+  /// One "STAT <name><labels> <value>\r\n" line per series (the `stats
+  /// detail` spelling); histograms emit the same _count/_sum/quantile
+  /// rows as AppendCsv. Values go through the same formatter as
+  /// RenderPrometheus, so the ASCII and HTTP surfaces agree byte-for-byte
+  /// on every number.
+  void AppendStatLines(std::vector<char>& out) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Registers (or fetches, when the same name+labels was registered
+  /// before) an instrument. Registration locks and may allocate — do it
+  /// at startup and keep the reference; the reference stays valid for the
+  /// registry's lifetime (instruments are never removed).
+  Counter& GetCounter(const std::string& name, const std::string& labels = "",
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& labels = "",
+                  const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name, double min_value,
+                          double max_value, std::size_t buckets,
+                          const std::string& labels = "",
+                          const std::string& help = "");
+
+  /// Callback gauge: `fn` is evaluated inside Snapshot(), with whatever
+  /// locks it takes internally. For values derived from state the hot
+  /// path already maintains (per-shard slab counts, tracker values).
+  void RegisterCallbackGauge(const std::string& name,
+                             const std::string& labels,
+                             std::function<double()> fn,
+                             const std::string& help = "");
+
+  /// Merges every instrument into plain values. Thread-safe.
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;  ///< callback gauges only
+  };
+
+  Entry* Find(const std::string& name, const std::string& labels,
+              MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace pamakv::util

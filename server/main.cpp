@@ -14,11 +14,15 @@
 #include <iostream>
 #include <string>
 
+#include <memory>
+
 #include "pamakv/net/cache_service.hpp"
+#include "pamakv/net/metrics_http.hpp"
 #include "pamakv/net/server.hpp"
 #include "pamakv/sim/experiment.hpp"
 #include "pamakv/util/arg_parser.hpp"
 #include "pamakv/util/failpoint.hpp"
+#include "pamakv/util/metrics.hpp"
 
 namespace pamakv {
 namespace {
@@ -53,7 +57,16 @@ int Main(int argc, char** argv) {
                 "in-flight connections are force-closed (default 5000)")
       .Describe("accept-retry-ms",
                 "how long to pause accepting after fd exhaustion before "
-                "re-arming the listener (default 10)");
+                "re-arming the listener (default 10)")
+      .Describe("metrics-port",
+                "serve Prometheus text exposition on this port at /metrics "
+                "(0 picks an ephemeral one); off unless given")
+      .Describe("metrics-dump-ms",
+                "append every metric series to --metrics-dump-file this "
+                "often; 0 = off (default 0; implies the metrics endpoint)")
+      .Describe("metrics-dump-file",
+                "CSV file the periodic dump appends to "
+                "(default results/metrics.csv)");
   if (args.HelpRequested()) {
     args.PrintHelp(std::cout, "pamakv-server",
                    "memcached-ASCII server over the PAMA cache");
@@ -114,7 +127,33 @@ int Main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   net::Server server(server_cfg, service);
+
+  // Observability: one registry feeds the `stats detail` command, the
+  // Prometheus endpoint and the periodic CSV dump (DESIGN.md §10).
+  util::MetricsRegistry registry;
+  std::unique_ptr<net::MetricsHttpServer> metrics_http;
+  const std::int64_t dump_ms = args.GetInt("metrics-dump-ms", 0);
+  if (args.Has("metrics-port") || dump_ms > 0) {
+    service.RegisterMetrics(registry);
+    server.EnableMetrics(registry);
+    net::MetricsHttpConfig metrics_cfg;
+    metrics_cfg.host = server_cfg.host;
+    metrics_cfg.port =
+        static_cast<std::uint16_t>(args.GetInt("metrics-port", 0));
+    metrics_cfg.dump_ms = dump_ms;
+    metrics_cfg.dump_path =
+        args.GetString("metrics-dump-file", "results/metrics.csv");
+    metrics_http =
+        std::make_unique<net::MetricsHttpServer>(metrics_cfg, registry);
+  }
+
   server.Start();
+  if (metrics_http != nullptr) {
+    metrics_http->Start();
+    std::fprintf(stderr, "# metrics: http://%s:%u/metrics%s\n",
+                 server_cfg.host.c_str(), metrics_http->port(),
+                 dump_ms > 0 ? " (+ periodic CSV dump)" : "");
+  }
   std::fprintf(stderr,
                "# pamakv-server: policy=%s shards=%zu capacity=%lluMiB "
                "threads=%zu listening on %s:%u\n",
@@ -129,6 +168,7 @@ int Main(int argc, char** argv) {
   // Graceful drain: stop accepting, let in-flight requests complete and
   // tx buffers flush, then tear down — so a loadgen run that SIGTERMs the
   // server still gets responses for everything it sent.
+  if (metrics_http != nullptr) metrics_http->Stop();
   const bool clean = server.Shutdown(std::chrono::milliseconds(drain_ms));
   std::fprintf(stderr, "# drain %s\n",
                clean ? "complete" : "expired (connections force-closed)");

@@ -46,6 +46,7 @@ CacheEngine::CacheEngine(const EngineConfig& config,
           static_cast<std::size_t>(classes_.num_classes()) * bands_.num_bands(),
           config.seed)),
       ghosts_(MakeGhosts(classes_, bands_.num_bands(), config.ghost_segments)),
+      ghost_hits_by_stack_(stacks_.size(), 0),
       policy_(std::move(policy)),
       hit_time_us_(config.hit_time_us) {
   assert(policy_ != nullptr);
@@ -103,6 +104,9 @@ GetResult CacheEngine::Get(KeyId key, Bytes size, MicroSecs miss_penalty) {
   if (h != kInvalidHandle) {
     Item& item = items_[h];
     ++stats_.get_hits;
+    // The hit avoided this item's recorded miss penalty — the live
+    // numerator of the paper's service-time savings.
+    stats_.hit_penalty_saved_us += static_cast<std::uint64_t>(item.penalty);
     // Policy sees the pre-promotion stack position (rank bookkeeping).
     policy_->OnHit(item);
     StackOf(item.cls, item.sub).MoveToTop(item.node);
@@ -117,7 +121,10 @@ GetResult CacheEngine::Get(KeyId key, Bytes size, MicroSecs miss_penalty) {
   const auto cls_opt = classes_.ClassForSize(size);
   if (cls_opt) {
     const SubclassId sub = bands_.BandFor(miss_penalty);
-    if (GhostOf(*cls_opt, sub).Contains(key)) ++stats_.ghost_hits;
+    if (GhostOf(*cls_opt, sub).Contains(key)) {
+      ++stats_.ghost_hits;
+      ++ghost_hits_by_stack_[StackIndex(*cls_opt, sub)];
+    }
     policy_->OnMiss(key, size, miss_penalty, *cls_opt, sub);
   }
   return GetResult{false, miss_penalty};

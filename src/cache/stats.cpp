@@ -15,6 +15,7 @@ CacheStats CacheStats::Since(const CacheStats& earlier) const noexcept {
   d.slab_migrations = slab_migrations - earlier.slab_migrations;
   d.ghost_hits = ghost_hits - earlier.ghost_hits;
   d.miss_penalty_total_us = miss_penalty_total_us - earlier.miss_penalty_total_us;
+  d.hit_penalty_saved_us = hit_penalty_saved_us - earlier.hit_penalty_saved_us;
   // Gauge: unsigned subtraction yields the (wrapping) net change, which
   // window consumers treat as a delta rather than a level.
   d.bytes_stored = bytes_stored - earlier.bytes_stored;
@@ -33,6 +34,7 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) noexcept {
   slab_migrations += other.slab_migrations;
   ghost_hits += other.ghost_hits;
   miss_penalty_total_us += other.miss_penalty_total_us;
+  hit_penalty_saved_us += other.hit_penalty_saved_us;
   bytes_stored += other.bytes_stored;
   return *this;
 }
@@ -51,6 +53,7 @@ StatsSnapshot CacheStats::Snapshot() const noexcept {
       {"ghost_hits", ghost_hits},
       {"slab_migrations", slab_migrations},
       {"miss_penalty_total_us", miss_penalty_total_us},
+      {"hit_penalty_saved_us", hit_penalty_saved_us},
   }};
 }
 

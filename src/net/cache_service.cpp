@@ -1,9 +1,11 @@
 #include "pamakv/net/cache_service.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "pamakv/cache/string_keys.hpp"
 #include "pamakv/net/protocol.hpp"
+#include "pamakv/policy/pama.hpp"
 #include "pamakv/util/failpoint.hpp"
 
 namespace pamakv::net {
@@ -171,7 +173,7 @@ std::uint64_t CacheService::CollisionsResolved() const {
   return collisions;
 }
 
-void CacheService::AppendStats(std::vector<char>& out) const {
+void CacheService::AppendStats(std::vector<char>& out, bool detail) const {
   const CacheStats total = TotalStats();
   for (const StatEntry& stat : total.Snapshot()) {
     AppendStat(out, stat.name, stat.value);
@@ -182,6 +184,11 @@ void CacheService::AppendStats(std::vector<char>& out) const {
   {
     std::lock_guard<std::mutex> lock(extra_stats_mu_);
     if (extra_stats_) extra_stats_(out);
+  }
+  if (detail && metrics_ != nullptr) {
+    // Same snapshot type the Prometheus endpoint renders — the two
+    // surfaces cannot disagree on a value (net_server_test asserts it).
+    metrics_->Snapshot().AppendStatLines(out);
   }
 #if PAMAKV_FAILPOINTS
   // Injection-build only: how often each armed failpoint actually fired,
@@ -198,6 +205,173 @@ void CacheService::SetExtraStats(
     std::function<void(std::vector<char>&)> appender) {
   std::lock_guard<std::mutex> lock(extra_stats_mu_);
   extra_stats_ = std::move(appender);
+}
+
+namespace {
+
+std::string ClassBandLabels(ClassId c, SubclassId s) {
+  return "{class=\"" + std::to_string(c) + "\",band=\"" + std::to_string(s) +
+         "\"}";
+}
+
+}  // namespace
+
+void CacheService::RegisterMetrics(util::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  // All shards share one factory, so shard 0's geometry is everyone's.
+  const CacheEngine& proto = *shards_.front()->engine;
+  const std::uint32_t num_classes = proto.classes().num_classes();
+  const std::uint32_t num_bands = proto.num_subclasses();
+
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    for (std::uint32_t s = 0; s < num_bands; ++s) {
+      const std::string labels =
+          ClassBandLabels(static_cast<ClassId>(c), static_cast<SubclassId>(s));
+      registry.RegisterCallbackGauge(
+          "pamakv_slabs", labels,
+          [this, c, s] {
+            return SumOverShards([c, s](const CacheEngine& e) {
+              return static_cast<double>(e.pool().SlabCount(
+                  static_cast<ClassId>(c), static_cast<SubclassId>(s)));
+            });
+          },
+          "slabs assigned per (size class, penalty band), summed over shards");
+      registry.RegisterCallbackGauge(
+          "pamakv_subclass_items", labels,
+          [this, c, s] {
+            return SumOverShards([c, s](const CacheEngine& e) {
+              return static_cast<double>(e.SubclassItemCount(
+                  static_cast<ClassId>(c), static_cast<SubclassId>(s)));
+            });
+          },
+          "items per (size class, penalty band)");
+      registry.RegisterCallbackGauge(
+          "pamakv_ghost_hits", labels,
+          [this, c, s] {
+            return SumOverShards([c, s](const CacheEngine& e) {
+              return static_cast<double>(e.GhostHitCount(
+                  static_cast<ClassId>(c), static_cast<SubclassId>(s)));
+            });
+          },
+          "GET misses found in this subclass's ghost (receiving) segments");
+    }
+  }
+  registry.RegisterCallbackGauge(
+      "pamakv_free_slabs", "",
+      [this] {
+        return SumOverShards([](const CacheEngine& e) {
+          return static_cast<double>(e.pool().free_slabs());
+        });
+      },
+      "unassigned slabs in the free pools");
+  registry.RegisterCallbackGauge(
+      "pamakv_total_slabs", "",
+      [this] {
+        return SumOverShards([](const CacheEngine& e) {
+          return static_cast<double>(e.pool().total_slabs());
+        });
+      },
+      "slabs the pools were built with");
+  registry.RegisterCallbackGauge(
+      "pamakv_curr_items", "",
+      [this] { return static_cast<double>(ItemCount()); },
+      "live items across shards");
+
+  // Every CacheStats counter under its memcached stat name, prefixed.
+  // Snapshot() entry names have static storage, so capturing the index
+  // and re-snapshotting in the callback is race-free and allocation-free.
+  const StatsSnapshot names = CacheStats{}.Snapshot();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    registry.RegisterCallbackGauge(
+        std::string("pamakv_") + names[i].name, "",
+        [this, i] {
+          return static_cast<double>(TotalStats().Snapshot()[i].value);
+        },
+        "CacheStats counter, summed over shards");
+  }
+
+  // PAMA value-flow telemetry, when the shards run PamaPolicy. Per-shard
+  // series: the sums are per-shard monotone and the last-comparison pair
+  // is only meaningful per decision stream.
+  if (dynamic_cast<const PamaPolicy*>(&proto.policy()) != nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::string labels = "{shard=\"" + std::to_string(i) + "\"}";
+      const auto flow = [this, i](auto pick) {
+        Shard& shard = *shards_[i];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto* pama =
+            dynamic_cast<const PamaPolicy*>(&shard.engine->policy());
+        return pama != nullptr ? pick(pama->value_flow()) : 0.0;
+      };
+      registry.RegisterCallbackGauge(
+          "pamakv_pama_decisions_total", labels,
+          [flow] {
+            return flow([](const PamaPolicy::ValueFlow& f) {
+              return static_cast<double>(f.decisions);
+            });
+          },
+          "MakeRoom decisions that had a donor candidate");
+      registry.RegisterCallbackGauge(
+          "pamakv_pama_outgoing_value_sum", labels,
+          [flow] {
+            return flow(
+                [](const PamaPolicy::ValueFlow& f) { return f.outgoing_sum; });
+          },
+          "sum of candidate outgoing values at decisions");
+      registry.RegisterCallbackGauge(
+          "pamakv_pama_incoming_value_sum", labels,
+          [flow] {
+            return flow(
+                [](const PamaPolicy::ValueFlow& f) { return f.incoming_sum; });
+          },
+          "sum of requester incoming values at decisions");
+      registry.RegisterCallbackGauge(
+          "pamakv_pama_migration_benefit_sum", labels,
+          [flow] {
+            return flow([](const PamaPolicy::ValueFlow& f) {
+              return f.migration_benefit_sum;
+            });
+          },
+          "sum of (incoming - outgoing) over executed migrations: the "
+          "penalty-saved-vs-penalty-blind-LRU estimate");
+      registry.RegisterCallbackGauge(
+          "pamakv_pama_last_outgoing_value", labels,
+          [flow] {
+            return flow(
+                [](const PamaPolicy::ValueFlow& f) { return f.last_outgoing; });
+          },
+          "candidate outgoing value at the latest decision");
+      registry.RegisterCallbackGauge(
+          "pamakv_pama_last_incoming_value", labels,
+          [flow] {
+            return flow(
+                [](const PamaPolicy::ValueFlow& f) { return f.last_incoming; });
+          },
+          "winning incoming value at the latest decision");
+    }
+    for (std::uint32_t from = 0; from < num_bands; ++from) {
+      for (std::uint32_t to = 0; to < num_bands; ++to) {
+        const std::string labels = "{from_band=\"" + std::to_string(from) +
+                                   "\",to_band=\"" + std::to_string(to) +
+                                   "\"}";
+        registry.RegisterCallbackGauge(
+            "pamakv_pama_migration_flow_total", labels,
+            [this, from, to] {
+              return SumOverShards([from, to](const CacheEngine& e) {
+                const auto* pama =
+                    dynamic_cast<const PamaPolicy*>(&e.policy());
+                return pama != nullptr
+                           ? static_cast<double>(pama->MigrationFlow(
+                                 static_cast<SubclassId>(from),
+                                 static_cast<SubclassId>(to)))
+                           : 0.0;
+              });
+            },
+            "slab migrations from band to band (src -> dst), summed over "
+            "shards");
+      }
+    }
+  }
 }
 
 }  // namespace pamakv::net

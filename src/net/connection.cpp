@@ -153,7 +153,21 @@ void Connection::ProcessBuffer() {
   }
 }
 
+void Connection::ObserveVerb(Verb verb, std::int64_t start_ns) noexcept {
+  util::Histogram* h =
+      metrics_->service_us[static_cast<std::size_t>(verb)];
+  if (h == nullptr) return;
+  const std::int64_t elapsed = metrics_->clock->NowNanos() - start_ns;
+  h->Observe(static_cast<double>(elapsed) / 1000.0);
+}
+
 void Connection::ExecuteLine(const Command& cmd) {
+  // `set` is only staged here — its real work (payload + store) is timed
+  // in FinishSet, so the verb histograms measure service, not waiting.
+  const std::int64_t start_ns =
+      metrics_ != nullptr && cmd.verb != Verb::kSet
+          ? metrics_->clock->NowNanos()
+          : -1;
   switch (cmd.verb) {
     case Verb::kGet:
     case Verb::kGets:
@@ -187,7 +201,7 @@ void Connection::ExecuteLine(const Command& cmd) {
       break;
     }
     case Verb::kStats:
-      service_->AppendStats(tx_);
+      service_->AppendStats(tx_, cmd.stats_detail);
       break;
     case Verb::kFlushAll:
       service_->FlushAll();
@@ -200,6 +214,7 @@ void Connection::ExecuteLine(const Command& cmd) {
       closing_ = true;
       break;
   }
+  if (start_ns >= 0) ObserveVerb(cmd.verb, start_ns);
 }
 
 void Connection::ExecuteRetrieval(const Command& cmd) {
@@ -211,6 +226,8 @@ void Connection::ExecuteRetrieval(const Command& cmd) {
 }
 
 void Connection::FinishSet(std::string_view data) {
+  const std::int64_t start_ns =
+      metrics_ != nullptr ? metrics_->clock->NowNanos() : -1;
   const std::string_view key(pending_key_, pending_key_len_);
   bool stored = false;
   try {
@@ -223,11 +240,13 @@ void Connection::FinishSet(std::string_view data) {
     if (!pending_noreply_) {
       AppendLiteral(tx_, "SERVER_ERROR out of memory storing object\r\n");
     }
+    if (start_ns >= 0) ObserveVerb(Verb::kSet, start_ns);
     return;
   }
   if (!pending_noreply_) {
     AppendLiteral(tx_, stored ? "STORED\r\n" : "NOT_STORED\r\n");
   }
+  if (start_ns >= 0) ObserveVerb(Verb::kSet, start_ns);
 }
 
 IoStatus Connection::OnReadable() {

@@ -1,0 +1,232 @@
+#include "pamakv/net/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "pamakv/net/syscall.hpp"
+
+namespace pamakv::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const MetricsHttpConfig& config,
+                                     util::MetricsRegistry& registry)
+    : config_(config),
+      registry_(&registry),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &util::SteadyClock::Instance()) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Start() {
+  listen_fd_ =
+      sys::Socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("bad metrics address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    ThrowErrno("bind/listen (metrics)");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  start_ns_ = clock_->NowNanos();
+  loop_ = std::make_unique<EventLoop>(*clock_);
+  loop_->Add(listen_fd_, EPOLLIN, [this](std::uint32_t) { Accept(); });
+  thread_ = std::thread([this] { loop_->Run(); });
+  if (config_.dump_ms > 0) {
+    loop_->Post([this] {
+      loop_->RunAfter(std::chrono::milliseconds(config_.dump_ms),
+                      [this] { DumpCsv(); });
+    });
+  }
+  started_ = true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  loop_->Stop();
+  thread_.join();
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  loop_.reset();
+}
+
+void MetricsHttpServer::Accept() {
+  for (;;) {
+    const int fd = sys::Accept4(listen_fd_, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next EPOLLIN
+    try {
+      conns_.emplace(fd, Conn{});
+      loop_->Add(fd, EPOLLIN,
+                 [this, fd](std::uint32_t ev) { HandleConn(fd, ev); });
+    } catch (...) {
+      conns_.erase(fd);
+      ::close(fd);
+    }
+  }
+}
+
+bool MetricsHttpServer::ParseRequest(const std::string& rx,
+                                     std::string& target) {
+  // Head complete at the first blank line; we only need the request line.
+  if (rx.find("\r\n\r\n") == std::string::npos &&
+      rx.find("\n\n") == std::string::npos) {
+    return false;
+  }
+  const auto line_end = rx.find_first_of("\r\n");
+  const std::string line = rx.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return true;  // malformed; 404 it
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string method = line.substr(0, sp1);
+  target = line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                         : sp2 - sp1 - 1);
+  if (method != "GET") target.clear();
+  // Drop any query string: Prometheus may append ?format= parameters.
+  const auto q = target.find('?');
+  if (q != std::string::npos) target.resize(q);
+  return true;
+}
+
+std::string MetricsHttpServer::BuildResponse(const std::string& target) {
+  std::string body;
+  std::string status;
+  std::string content_type;
+  if (target == "/metrics") {
+    body = registry_->Snapshot().RenderPrometheus();
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    body = "not found\n";
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+  }
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                status.c_str(), content_type.c_str(), body.size());
+  std::string out(head);
+  out += body;
+  return out;
+}
+
+void MetricsHttpServer::HandleConn(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(fd);
+    return;
+  }
+
+  if ((events & EPOLLIN) != 0 && conn.tx.empty()) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = sys::Read(fd, buf, sizeof buf);
+      if (n > 0) {
+        conn.rx.append(buf, static_cast<std::size_t>(n));
+        if (conn.rx.size() > kMaxRequestBytes) {
+          CloseConn(fd);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed before a full request
+        CloseConn(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(fd);
+      return;
+    }
+    std::string target;
+    if (ParseRequest(conn.rx, target)) {
+      conn.tx = BuildResponse(target);
+      loop_->Mod(fd, EPOLLOUT);
+    }
+  }
+
+  if (!conn.tx.empty()) {
+    while (conn.tx_off < conn.tx.size()) {
+      const ssize_t n = sys::Write(fd, conn.tx.data() + conn.tx_off,
+                                   conn.tx.size() - conn.tx_off);
+      if (n > 0) {
+        conn.tx_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      CloseConn(fd);
+      return;
+    }
+    CloseConn(fd);  // HTTP/1.0: response sent, done
+  }
+}
+
+void MetricsHttpServer::CloseConn(int fd) {
+  loop_->Del(fd);
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+void MetricsHttpServer::DumpCsv() {
+  const std::int64_t elapsed_ms =
+      (clock_->NowNanos() - start_ns_) / 1'000'000;
+  std::string rows;
+  registry_->Snapshot().AppendCsv(rows, elapsed_ms);
+  std::error_code ec;
+  const auto parent = std::filesystem::path(config_.dump_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  const bool fresh = !std::filesystem::exists(config_.dump_path, ec);
+  std::ofstream out(config_.dump_path, std::ios::app);
+  if (out) {
+    if (fresh) out << "elapsed_ms,metric,value\n";
+    out << rows;
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  loop_->RunAfter(std::chrono::milliseconds(config_.dump_ms),
+                  [this] { DumpCsv(); });
+}
+
+}  // namespace pamakv::net

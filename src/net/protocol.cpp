@@ -138,7 +138,14 @@ ParseResult ParseCommandLine(std::string_view line, Command& out) {
   }
   if (verb == "stats") {
     out.verb = Verb::kStats;
-    return ParseBare(rest);
+    const std::string_view arg = NextToken(rest);
+    if (arg == "detail") {
+      out.stats_detail = true;
+    } else if (!arg.empty()) {
+      return ClientError("bad stats argument");
+    }
+    if (!NextToken(rest).empty()) return ClientError("trailing arguments");
+    return ParseResult{};
   }
   if (verb == "flush_all") {
     out.verb = Verb::kFlushAll;
@@ -153,6 +160,20 @@ ParseResult ParseCommandLine(std::string_view line, Command& out) {
     return ParseBare(rest);
   }
   return ParseResult{ParseStatus::kError, {}};
+}
+
+std::string_view VerbName(Verb v) noexcept {
+  switch (v) {
+    case Verb::kGet: return "get";
+    case Verb::kGets: return "gets";
+    case Verb::kSet: return "set";
+    case Verb::kDelete: return "delete";
+    case Verb::kStats: return "stats";
+    case Verb::kFlushAll: return "flush_all";
+    case Verb::kVersion: return "version";
+    case Verb::kQuit: return "quit";
+  }
+  return "unknown";
 }
 
 void AppendUInt(std::vector<char>& out, std::uint64_t v) {

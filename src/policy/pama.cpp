@@ -11,6 +11,8 @@ void PamaPolicy::Attach(CacheEngine& engine) {
   last_granted_.assign(static_cast<std::size_t>(engine.classes().num_classes()) *
                            engine.num_subclasses(),
                        0);
+  num_bands_ = engine.num_subclasses();
+  migration_flow_.assign(static_cast<std::size_t>(num_bands_) * num_bands_, 0);
 }
 
 void PamaPolicy::OnTick(AccessClock now) {
@@ -78,6 +80,13 @@ bool PamaPolicy::MakeRoom(ClassId cls, SubclassId sub) {
   }
 
   const double incoming = tracker_->IncomingValue(cls, sub);
+  if (donor) {
+    ++value_flow_.decisions;
+    value_flow_.outgoing_sum += donor->value;
+    value_flow_.incoming_sum += incoming;
+    value_flow_.last_outgoing = donor->value;
+    value_flow_.last_incoming = incoming;
+  }
 
   if (donor && donor->value < incoming) {
     if (donor->cls == cls) ++decisions_.intra_class;
@@ -85,6 +94,9 @@ bool PamaPolicy::MakeRoom(ClassId cls, SubclassId sub) {
     if (engine().MigrateSlab(donor->cls, donor->sub, cls, sub)) {
       last_granted_[static_cast<std::size_t>(cls) * engine().num_subclasses() +
                     sub] = now_;
+      value_flow_.migration_benefit_sum += incoming - donor->value;
+      ++migration_flow_[static_cast<std::size_t>(donor->sub) * num_bands_ +
+                        sub];
       return true;
     }
     return false;

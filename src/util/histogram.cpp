@@ -70,13 +70,37 @@ double LogHistogram::BucketMid(std::size_t i) const {
 double LogHistogram::Quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  // Rank is 1-based like an index into the sorted sample vector: with
+  // `target = q * total` truncated, q up to 1/total gave target 0 and the
+  // scan stopped on bucket 0 even when it was empty — every low quantile
+  // of a high-valued distribution misreported the histogram minimum.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
     if (cum >= target) return BucketMid(i);
   }
   return BucketMid(counts_.size() - 1);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.total_ == 0) return;
+  if (other.log_min_ == log_min_ && other.log_max_ == log_max_ &&
+      other.counts_.size() == counts_.size()) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+    return;
+  }
+  // Different layout: a positional bucket copy would shift every count to
+  // the wrong value range (a 32-bucket p999 read against 64-bucket edges
+  // lands decades off). Re-bin by each source bucket's representative
+  // value instead; Add() clamps into our edge buckets as usual.
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] != 0) Add(other.BucketMid(i), other.counts_[i]);
+  }
 }
 
 void LogHistogram::Reset() noexcept {

@@ -238,6 +238,7 @@ struct EngineSnapshot {
   std::vector<std::size_t> slots_in_use;
   std::vector<std::size_t> stack_sizes;
   std::vector<std::size_t> ghost_sizes;
+  std::vector<std::uint64_t> ghost_hit_counts;
 
   static EngineSnapshot Of(const CacheEngine& e) {
     EngineSnapshot s;
@@ -251,6 +252,7 @@ struct EngineSnapshot {
         s.slots_in_use.push_back(e.pool().SlotsInUse(c, sub));
         s.stack_sizes.push_back(e.SubclassItemCount(c, sub));
         s.ghost_sizes.push_back(e.GhostOf(c, sub).size());
+        s.ghost_hit_counts.push_back(e.GhostHitCount(c, sub));
       }
     }
     return s;
@@ -262,6 +264,7 @@ struct EngineSnapshot {
     EXPECT_EQ(stats.set_failures, other.stats.set_failures);
     EXPECT_EQ(stats.evictions, other.stats.evictions);
     EXPECT_EQ(stats.ghost_hits, other.stats.ghost_hits);
+    EXPECT_EQ(stats.hit_penalty_saved_us, other.stats.hit_penalty_saved_us);
     EXPECT_EQ(stats.bytes_stored, other.stats.bytes_stored);
     EXPECT_EQ(clock, other.clock);
     EXPECT_EQ(item_count, other.item_count);
@@ -269,6 +272,7 @@ struct EngineSnapshot {
     EXPECT_EQ(slots_in_use, other.slots_in_use);
     EXPECT_EQ(stack_sizes, other.stack_sizes);
     EXPECT_EQ(ghost_sizes, other.ghost_sizes);
+    EXPECT_EQ(ghost_hit_counts, other.ghost_hit_counts);
   }
 };
 

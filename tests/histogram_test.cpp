@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "pamakv/util/rng.hpp"
 
 namespace pamakv {
 namespace {
@@ -85,6 +88,117 @@ TEST(LogHistogramTest, QuantileInterpolatesBuckets) {
   for (int i = 0; i < 10; ++i) h.Add(5000.0); // bucket 3
   EXPECT_LT(h.Quantile(0.5), 10.0);
   EXPECT_GT(h.Quantile(0.99), 1000.0);
+}
+
+TEST(LogHistogramTest, EmptyQuantileIsZero) {
+  const LogHistogram h(1.0, 1000.0, 8);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(LogHistogramTest, LowQuantileNeverAnswersFromEmptyLeadingBuckets) {
+  // Regression: the old target rank floor(q * total) could be 0, which an
+  // empty bucket 0 "satisfies" — so p1 of an all-high distribution came
+  // back from the bottom of the range. The rank is now max(1, ceil(...)).
+  LogHistogram h(1.0, 10000.0, 8);
+  for (int i = 0; i < 100; ++i) h.Add(5000.0);
+  EXPECT_GT(h.Quantile(0.001), 1000.0);
+  EXPECT_GT(h.Quantile(0.01), 1000.0);
+}
+
+TEST(LogHistogramTest, MaxBucketSaturationStillReportsTail) {
+  // Values beyond max clamp into the last bucket; quantiles must keep
+  // answering from it instead of walking off the end.
+  LogHistogram h(1.0, 100.0, 4);
+  for (int i = 0; i < 10; ++i) h.Add(1e9);
+  EXPECT_EQ(h.total(), 10u);
+  const double p999 = h.Quantile(0.999);
+  EXPECT_GE(p999, h.BucketLow(3));
+  EXPECT_LE(p999, h.BucketHigh(3) * (1.0 + 1e-9));
+}
+
+TEST(LogHistogramTest, QuantileMatchesSortedVectorOracle) {
+  // Property: against the exact sorted-vector quantile, the bucketed
+  // answer may be off by at most one bucket width in log space.
+  Rng rng(42);
+  LogHistogram h(1.0, 1e6, 48);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform across the whole range, plus a heavy cluster near 100.
+    const double v = i % 3 == 0
+                         ? std::exp(rng.NextDouble() * std::log(1e6))
+                         : 80.0 + 40.0 * rng.NextDouble();
+    values.push_back(v);
+    h.Add(v);
+  }
+  // Tolerance: half a bucket each for value-vs-midpoint on both sides,
+  // plus one bucket for the rank conventions differing by one sample.
+  const double log_bucket_width = std::log(1e6) / 48.0;
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(std::log(approx), std::log(exact),
+                2.0 * log_bucket_width + 1e-9)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(LogHistogramTest, MergeIdenticalLayoutsAddsBucketwise) {
+  LogHistogram a(1.0, 1000.0, 6);
+  LogHistogram b(1.0, 1000.0, 6);
+  a.Add(2.0, 3);
+  a.Add(500.0, 1);
+  b.Add(2.0, 2);
+  b.Add(50.0, 4);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 10u);
+  LogHistogram both(1.0, 1000.0, 6);
+  both.Add(2.0, 5);
+  both.Add(500.0, 1);
+  both.Add(50.0, 4);
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), both.bucket(i)) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogramTest, MergeMismatchedLayoutsDoesNotMisreportTail) {
+  // Regression target: merging a fine-grained shard histogram into a
+  // coarse aggregate by bucket *position* would drop the tail mass into
+  // low buckets and destroy p999. Re-binning by midpoint keeps the tail
+  // within one coarse bucket of the truth.
+  LogHistogram coarse(1.0, 1e6, 12);
+  LogHistogram fine(1.0, 1e6, 96);
+  std::vector<double> values;
+  for (int i = 0; i < 999; ++i) {
+    fine.Add(10.0);
+    values.push_back(10.0);
+  }
+  fine.Add(2e5);  // the single p999 outlier
+  values.push_back(2e5);
+  coarse.Merge(fine);
+  EXPECT_EQ(coarse.total(), 1000u);
+  const double log_bucket_width = std::log(1e6) / 12.0;
+  EXPECT_NEAR(std::log(coarse.Quantile(0.9995)), std::log(2e5),
+              log_bucket_width + 1e-9);
+  EXPECT_NEAR(std::log(coarse.Quantile(0.5)), std::log(10.0),
+              log_bucket_width + 1e-9);
+
+  // And the other direction: coarse into fine.
+  LogHistogram fine2(1.0, 1e6, 96);
+  fine2.Merge(coarse);
+  EXPECT_EQ(fine2.total(), 1000u);
+  EXPECT_NEAR(std::log(fine2.Quantile(0.9995)), std::log(2e5),
+              2.0 * log_bucket_width + 1e-9);
+}
+
+TEST(LogHistogramTest, MergeEmptyIsIdentity) {
+  LogHistogram a(1.0, 100.0, 4);
+  a.Add(5.0, 7);
+  const LogHistogram empty(1.0, 1000.0, 9);
+  a.Merge(empty);
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_NEAR(a.Quantile(0.5), a.BucketMid(1), a.BucketHigh(1));
 }
 
 TEST(LogHistogramTest, InvalidArgsThrow) {

@@ -1,0 +1,319 @@
+// util/metrics: instruments, snapshot/render surfaces, and the concurrent
+// write paths (this file is dual-compiled into the tsan binary — see
+// tests/CMakeLists.txt — so every racy claim here runs under
+// ThreadSanitizer in the tsan preset).
+
+#include "pamakv/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pamakv/util/histogram.hpp"
+#include "pamakv/util/rng.hpp"
+
+namespace pamakv::util {
+namespace {
+
+TEST(MetricsCounterTest, SumsAcrossStripes) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsCounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsGaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(MetricsHistogramTest, SnapshotCountEqualsBucketSum) {
+  Histogram h(1.0, 1e6, 32);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    h.Observe(std::exp(rng.NextDouble() * std::log(1e6)));
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  std::uint64_t sum = 0;
+  for (const auto c : snap.counts) sum += c;
+  EXPECT_EQ(snap.total, sum);
+  EXPECT_EQ(snap.total, 1000u);
+  EXPECT_GT(snap.sum, 0.0);
+}
+
+TEST(MetricsHistogramTest, QuantileAgreesWithLogHistogram) {
+  // Same bucket math as util/histogram.hpp's LogHistogram, same rank
+  // convention — so a given stream answers the same from both.
+  Histogram h(1.0, 1e4, 16);
+  LogHistogram reference(1.0, 1e4, 16);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double v = std::exp(rng.NextDouble() * std::log(1e4));
+    h.Observe(v);
+    reference.Add(v);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(snap.Quantile(q), reference.Quantile(q),
+                1e-9 * reference.Quantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(MetricsHistogramTest, EmptySnapshotQuantileIsZero) {
+  Histogram h(1.0, 100.0, 8);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.Quantile(0.999), 0.0);
+}
+
+TEST(MetricsHistogramTest, SaturatedMaxBucketKeepsAnswering) {
+  Histogram h(1.0, 100.0, 4);
+  for (int i = 0; i < 10; ++i) h.Observe(1e9);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.total, 10u);
+  const double p999 = snap.Quantile(0.999);
+  EXPECT_GT(p999, snap.bounds[2]);
+  EXPECT_LE(p999, snap.bounds[3] * (1.0 + 1e-9));
+}
+
+TEST(MetricsHistogramTest, ConcurrentObserversLoseNothing) {
+  Histogram h(1.0, 1e6, 32);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>(1 + (t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  // Snapshot while writers run: internally consistent (count == Σ buckets
+  // is asserted inside Snapshot's contract) and monotone.
+  std::uint64_t last_total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot snap = h.Snapshot();
+    std::uint64_t sum = 0;
+    for (const auto c : snap.counts) sum += c;
+    EXPECT_EQ(snap.total, sum);
+    EXPECT_GE(snap.total, last_total);
+    last_total = snap.total;
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Snapshot().total,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsSnapshotMergeTest, MismatchedLayoutsRebinByMidpoint) {
+  Histogram fine(1.0, 1e6, 96);
+  Histogram coarse(1.0, 1e6, 12);
+  for (int i = 0; i < 999; ++i) fine.Observe(10.0);
+  fine.Observe(2e5);
+  HistogramSnapshot merged = coarse.Snapshot();
+  merged.Merge(fine.Snapshot());
+  EXPECT_EQ(merged.total, 1000u);
+  const double log_bucket_width = std::log(1e6) / 12.0;
+  EXPECT_NEAR(std::log(merged.Quantile(0.9995)), std::log(2e5),
+              log_bucket_width + 1e-9);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("pamakv_ops_total", "{verb=\"get\"}");
+  Counter& b = registry.GetCounter("pamakv_ops_total", "{verb=\"get\"}");
+  Counter& other = registry.GetCounter("pamakv_ops_total", "{verb=\"set\"}");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("pamakv_thing", "");
+  EXPECT_THROW(registry.GetGauge("pamakv_thing", ""), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("pamakv_thing", 1.0, 10.0, 4, ""),
+               std::logic_error);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeEvaluatedAtSnapshot) {
+  MetricsRegistry registry;
+  double level = 1.0;
+  registry.RegisterCallbackGauge("pamakv_level", "", [&level] { return level; });
+  EXPECT_EQ(registry.Snapshot().samples[0].value, 1.0);
+  level = 5.0;
+  EXPECT_EQ(registry.Snapshot().samples[0].value, 5.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersAndSnapshotters) {
+  // The tsan-build version of this test is the race check the metrics
+  // hot path is held to: counters, gauges and histograms written from
+  // many threads while another thread snapshots and renders.
+  MetricsRegistry registry;
+  Counter& ops = registry.GetCounter("pamakv_ops_total", "");
+  Gauge& depth = registry.GetGauge("pamakv_depth", "");
+  Histogram& lat = registry.GetHistogram("pamakv_lat_us", 0.1, 1e6, 32, "");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ops.Inc();
+        depth.Set(t);
+        lat.Observe(1.0 + i % 100);
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      ASSERT_EQ(snap.samples.size(), 3u);
+      const std::string text = snap.RenderPrometheus();
+      EXPECT_NE(text.find("# TYPE pamakv_ops_total counter"),
+                std::string::npos);
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(ops.Value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(lat.Snapshot().total,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- Render surfaces ----
+
+TEST(MetricsRenderTest, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("pamakv_ops_total", "{verb=\"get\"}").Inc(7);
+  registry.GetGauge("pamakv_items", "").Set(3);
+  Histogram& h = registry.GetHistogram("pamakv_lat_us", 1.0, 1000.0, 3, "");
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(1e9);  // clamps into the last bucket
+
+  const std::string text = registry.Snapshot().RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE pamakv_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pamakv_ops_total{verb=\"get\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pamakv_items gauge"), std::string::npos);
+  EXPECT_NE(text.find("pamakv_items 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pamakv_lat_us histogram"), std::string::npos);
+  // Cumulative buckets end with the +Inf catch-all == _count.
+  EXPECT_NE(text.find("pamakv_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pamakv_lat_us_count 3\n"), std::string::npos);
+
+  // Exposition lint (what CI enforces against the live endpoint): every
+  // non-comment line is `name[{labels}] value` with a parseable value.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string value = line.substr(sp + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+    const std::string series = line.substr(0, sp);
+    const auto brace = series.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(series.back(), '}') << line;
+    }
+  }
+}
+
+TEST(MetricsRenderTest, InterleavedFamiliesGroupUnderOneTypeLine) {
+  // Regression: registration order interleaves families (per-(class,band)
+  // gauges cycle a/b/a/b...). The renderer must still emit exactly one
+  // # TYPE line per family with all its series grouped beneath it —
+  // duplicate # TYPE lines are a spec violation Prometheus rejects.
+  MetricsRegistry registry;
+  for (int i = 0; i < 3; ++i) {
+    const std::string labels = "{i=\"" + std::to_string(i) + "\"}";
+    registry.GetGauge("pamakv_alpha", labels).Set(i);
+    registry.GetGauge("pamakv_beta", labels).Set(i);
+  }
+  const std::string text = registry.Snapshot().RenderPrometheus();
+  std::size_t alpha_types = 0;
+  std::size_t beta_types = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE pamakv_alpha ", pos)) != std::string::npos) {
+    ++alpha_types;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = text.find("# TYPE pamakv_beta ", pos)) != std::string::npos) {
+    ++beta_types;
+    ++pos;
+  }
+  EXPECT_EQ(alpha_types, 1u);
+  EXPECT_EQ(beta_types, 1u);
+  // All alpha series precede the beta family header.
+  EXPECT_LT(text.rfind("pamakv_alpha{"), text.find("# TYPE pamakv_beta"));
+}
+
+TEST(MetricsRenderTest, HistogramBucketsCarryOuterLabels) {
+  MetricsRegistry registry;
+  registry.GetHistogram("pamakv_lat_us", 1.0, 100.0, 2, "{verb=\"set\"}")
+      .Observe(5.0);
+  const std::string text = registry.Snapshot().RenderPrometheus();
+  EXPECT_NE(text.find("pamakv_lat_us_bucket{verb=\"set\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("pamakv_lat_us_count{verb=\"set\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRenderTest, CsvAndStatLinesAgreeWithPrometheus) {
+  MetricsRegistry registry;
+  registry.GetCounter("pamakv_ops_total", "").Inc(1234);
+  registry.GetGauge("pamakv_items", "").Set(42);
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  std::string csv;
+  snap.AppendCsv(csv, 750);
+  EXPECT_NE(csv.find("750,pamakv_ops_total,1234\n"), std::string::npos);
+  EXPECT_NE(csv.find("750,pamakv_items,42\n"), std::string::npos);
+
+  std::vector<char> ascii;
+  snap.AppendStatLines(ascii);
+  const std::string stat(ascii.begin(), ascii.end());
+  EXPECT_NE(stat.find("STAT pamakv_ops_total 1234\r\n"), std::string::npos);
+  EXPECT_NE(stat.find("STAT pamakv_items 42\r\n"), std::string::npos);
+
+  const std::string prom = snap.RenderPrometheus();
+  EXPECT_NE(prom.find("pamakv_ops_total 1234\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pamakv::util

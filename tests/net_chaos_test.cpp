@@ -42,6 +42,7 @@
 #include "pamakv/net/client.hpp"
 #include "pamakv/net/server.hpp"
 #include "pamakv/sim/experiment.hpp"
+#include "pamakv/util/metrics.hpp"
 #include "pamakv/util/rng.hpp"
 
 namespace pamakv::net {
@@ -188,6 +189,9 @@ TEST_P(ChaosTest, SurvivesSeededFaultStorm) {
     server_cfg.threads = 2;
     server_cfg.accept_retry_ms = 5;  // real clock: pauses self-heal fast
     Server server(server_cfg, service);
+    util::MetricsRegistry registry;
+    service.RegisterMetrics(registry);
+    server.EnableMetrics(registry);
     server.Start();
 
     // The entire storm is a function of the seed: rates and per-point
@@ -263,6 +267,45 @@ TEST_P(ChaosTest, SurvivesSeededFaultStorm) {
       if (name == "bytes") wire_bytes = value;
     }
     EXPECT_EQ(wire_bytes, service.TotalStats().bytes_stored);
+
+    // Metrics-gauge reconciliation: after thousands of rollbacks the
+    // registry's view must still match engine ground truth exactly, and
+    // the slab accounting must balance to the slab (no slab leaked by a
+    // failed store, none double-counted by a retried one).
+    const util::MetricsSnapshot snap = registry.Snapshot();
+    const auto sum_of = [&snap](std::string_view name) {
+      double sum = 0.0;
+      for (const auto& s : snap.samples) {
+        if (s.name == name) sum += s.value;
+      }
+      return sum;
+    };
+    EXPECT_EQ(static_cast<std::uint64_t>(sum_of("pamakv_bytes")),
+              service.TotalStats().bytes_stored);
+    EXPECT_EQ(static_cast<std::uint64_t>(sum_of("pamakv_curr_items")),
+              service.ItemCount());
+    EXPECT_EQ(sum_of("pamakv_slabs") + sum_of("pamakv_free_slabs"),
+              sum_of("pamakv_total_slabs"));
+    // Item accounting balances too: per-band stacks sum to the item count.
+    EXPECT_EQ(sum_of("pamakv_subclass_items"), sum_of("pamakv_curr_items"));
+
+    // Per-verb service-time histograms reconcile with the stats totals:
+    // every executed get/delete is observed exactly once (multi-key gets
+    // are absent from this workload). Sets may be observed without
+    // landing in cmd_set — an injected OOM rolls the stats back but the
+    // command was still served — so set is a ≥ bound.
+    const auto verb_count = [&snap](std::string_view verb) {
+      const std::string want = "{verb=\"" + std::string(verb) + "\"}";
+      for (const auto& s : snap.samples) {
+        if (s.name == "pamakv_service_time_us" && s.labels == want) {
+          return s.histogram.total;
+        }
+      }
+      return std::uint64_t{0};
+    };
+    EXPECT_EQ(verb_count("get"), totals.gets);
+    EXPECT_EQ(verb_count("delete"), totals.dels);
+    EXPECT_GE(verb_count("set"), totals.sets);
 
     probe.Close();
     EXPECT_TRUE(server.Shutdown(std::chrono::milliseconds(10'000)));

@@ -10,11 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <system_error>
@@ -23,10 +28,12 @@
 
 #include "pamakv/net/cache_service.hpp"
 #include "pamakv/net/client.hpp"
+#include "pamakv/net/metrics_http.hpp"
 #include "pamakv/net/server.hpp"
 #include "pamakv/sim/experiment.hpp"
 #include "pamakv/util/clock.hpp"
 #include "pamakv/util/failpoint.hpp"
+#include "pamakv/util/metrics.hpp"
 
 namespace pamakv::net {
 namespace {
@@ -47,7 +54,8 @@ class ServerTest : public ::testing::Test {
   /// knobs go through scfg_ (set before calling); the fixture's FakeClock
   /// is always injected, so timeouts only ever fire via clock_.Advance().
   void StartServer(const std::string& scheme = "memcached",
-                   std::size_t threads = 1, std::size_t shards = 2) {
+                   std::size_t threads = 1, std::size_t shards = 2,
+                   bool with_metrics = false) {
     CacheServiceConfig cfg;
     cfg.shards = shards;
     cfg.capacity_bytes = 64ULL * 1024 * 1024;
@@ -58,6 +66,10 @@ class ServerTest : public ::testing::Test {
     scfg_.threads = threads;
     scfg_.clock = &clock_;
     server_ = std::make_unique<Server>(scfg_, *service_);
+    if (with_metrics) {
+      service_->RegisterMetrics(registry_);
+      server_->EnableMetrics(registry_);
+    }
     server_->Start();
   }
 
@@ -104,9 +116,65 @@ class ServerTest : public ::testing::Test {
 
   util::FakeClock clock_;
   ServerConfig scfg_;
+  util::MetricsRegistry registry_;
   std::unique_ptr<CacheService> service_;
   std::unique_ptr<Server> server_;
 };
+
+/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:`port`. Returns the
+/// body; fills `head_out` with the status line + headers when non-null.
+std::string HttpGet(std::uint16_t port, const std::string& path,
+                    std::string* head_out = nullptr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: test\r\n\r\n";
+  for (std::size_t off = 0; off < req.size();) {
+    const ssize_t n = ::write(fd, req.data() + off, req.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto split = response.find("\r\n\r\n");
+  if (split == std::string::npos) return "";
+  if (head_out != nullptr) *head_out = response.substr(0, split);
+  return response.substr(split + 4);
+}
+
+/// Parses Prometheus exposition text into series -> value-string. Skips
+/// comment lines; keys are the full series spelling (name + label set).
+std::map<std::string, std::string> ParseExposition(const std::string& body) {
+  std::map<std::string, std::string> series;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    auto end = body.find('\n', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    series[line.substr(0, sp)] = line.substr(sp + 1);
+  }
+  return series;
+}
 
 TEST_F(ServerTest, SetGetDeleteRoundTrip) {
   StartServer();
@@ -728,6 +796,128 @@ TEST_F(ServerTest, AbruptStopSurfacesTypedClientError) {
                 e.kind() == ClientError::Kind::kShortRead)
         << e.what();
   }
+}
+
+// ---- observability (DESIGN.md §10) ----
+
+TEST_F(ServerTest, MetricsEndpointServesPrometheusExposition) {
+  StartServer("pama", 1, 2, /*with_metrics=*/true);
+  MetricsHttpConfig mcfg;
+  mcfg.port = 0;  // ephemeral
+  MetricsHttpServer http(mcfg, registry_);
+  http.Start();
+  ASSERT_NE(http.port(), 0);
+
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("k", 1'000, "value"));
+  std::string value;
+  EXPECT_TRUE(client.Get("k", value));
+
+  std::string head;
+  const std::string body = HttpGet(http.port(), "/metrics", &head);
+  EXPECT_NE(head.find("HTTP/1.0 200"), std::string::npos) << head;
+  EXPECT_NE(head.find("text/plain; version=0.0.4"), std::string::npos) << head;
+  EXPECT_EQ(http.scrapes(), 1u);
+
+  // Every non-comment line must be `series value` with a parseable value
+  // (the same lint CI applies to the live endpoint).
+  const auto series = ParseExposition(body);
+  EXPECT_GT(series.size(), 50u);
+  for (const auto& [name, val] : series) {
+    char* end = nullptr;
+    std::strtod(val.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << name << " " << val;
+  }
+  EXPECT_EQ(series.at("pamakv_cmd_get"), "1");
+  EXPECT_EQ(series.at("pamakv_cmd_set"), "1");
+  EXPECT_EQ(series.at("pamakv_curr_connections"), "1");
+  EXPECT_EQ(series.at("pamakv_service_time_us_count{verb=\"get\"}"), "1");
+  // Cumulative histogram: the +Inf bucket equals _count.
+  EXPECT_EQ(series.at("pamakv_service_time_us_bucket{verb=\"get\",le=\"+Inf\"}"),
+            series.at("pamakv_service_time_us_count{verb=\"get\"}"));
+
+  // Unknown paths 404; the scrape counter does not move.
+  const std::string missing = HttpGet(http.port(), "/nope", &head);
+  EXPECT_NE(head.find("HTTP/1.0 404"), std::string::npos) << head;
+  EXPECT_EQ(http.scrapes(), 1u);
+
+  http.Stop();
+}
+
+TEST_F(ServerTest, StatsDetailMatchesPrometheusEndpointMidLoad) {
+  // Both surfaces render from the same registry snapshot type with the
+  // same number formatter, so with the cache quiescent between the two
+  // scrapes every shared series must agree byte-for-byte.
+  StartServer("pama", 1, 2, /*with_metrics=*/true);
+  MetricsHttpConfig mcfg;
+  mcfg.port = 0;
+  MetricsHttpServer http(mcfg, registry_);
+  http.Start();
+
+  auto client = Connect();
+  std::string value;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(client.Set("key" + std::to_string(i),
+                           1'000 * (1 + i % 4),  // spread across bands
+                           std::string(32 + i * 8, 'v')));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(client.Get("key" + std::to_string(i), value));
+  }
+  EXPECT_FALSE(client.Get("missing", value));
+  EXPECT_TRUE(client.Delete("key0"));
+
+  // HTTP scrape first: the later `stats detail` snapshot observes nothing
+  // new in between (its own service time is recorded only after the
+  // response is built), so the two snapshots see identical state.
+  const auto prom = ParseExposition(HttpGet(http.port(), "/metrics"));
+  ASSERT_FALSE(prom.empty());
+
+  client.SendRaw("stats detail\r\n");
+  std::map<std::string, std::string> ascii;
+  for (std::string line = client.ReadLine(); line != "END";
+       line = client.ReadLine()) {
+    ASSERT_TRUE(line.rfind("STAT ", 0) == 0) << line;
+    const auto sp = line.rfind(' ');
+    ASSERT_GT(sp, 5u) << line;
+    ascii[line.substr(5, sp - 5)] = line.substr(sp + 1);
+  }
+
+  // Every registry-backed STAT series that has a Prometheus spelling must
+  // carry the identical value string. (ASCII quantile rows _p50/_p99/_p999
+  // have no exposition counterpart; buckets exist only in Prometheus.)
+  std::size_t matched = 0;
+  for (const auto& [name, val] : ascii) {
+    const auto it = prom.find(name);
+    if (it == prom.end()) continue;
+    EXPECT_EQ(val, it->second) << name;
+    ++matched;
+  }
+  EXPECT_GT(matched, 30u);
+  // Spot-check the load is actually in the numbers, not vacuously equal.
+  ASSERT_TRUE(ascii.count("pamakv_cmd_get"));
+  EXPECT_EQ(ascii.at("pamakv_cmd_get"), "65");
+  ASSERT_TRUE(ascii.count("pamakv_service_time_us_count{verb=\"set\"}"));
+  EXPECT_EQ(ascii.at("pamakv_service_time_us_count{verb=\"set\"}"), "64");
+  ASSERT_TRUE(ascii.count("pamakv_curr_items"));
+  EXPECT_EQ(ascii.at("pamakv_curr_items"), "63");
+
+  http.Stop();
+}
+
+TEST_F(ServerTest, PlainStatsOmitsRegistrySeries) {
+  StartServer("memcached", 1, 2, /*with_metrics=*/true);
+  auto client = Connect();
+  ASSERT_TRUE(client.Set("k", 100, "v"));
+  client.SendRaw("stats\r\n");
+  for (std::string line = client.ReadLine(); line != "END";
+       line = client.ReadLine()) {
+    EXPECT_EQ(line.find("pamakv_"), std::string::npos) << line;
+  }
+  // And a bad argument is a client error, not a silent fallback.
+  client.SendRaw("stats bogus\r\n");
+  const std::string err = client.ReadLine();
+  EXPECT_TRUE(err.rfind("CLIENT_ERROR", 0) == 0) << err;
 }
 
 }  // namespace

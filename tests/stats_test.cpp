@@ -26,6 +26,7 @@ CacheStats MakeStats(std::uint64_t seed) {
   s.slab_migrations = rng.NextBounded(1'000'000);
   s.ghost_hits = rng.NextBounded(1'000'000);
   s.miss_penalty_total_us = rng.NextBounded(1'000'000);
+  s.hit_penalty_saved_us = rng.NextBounded(1'000'000);
   s.bytes_stored = rng.NextBounded(1'000'000);
   return s;
 }
@@ -62,6 +63,43 @@ TEST(StatsSnapshotTest, MemcachedNamesPresentOnceWithMatchingValues) {
   EXPECT_EQ(value_of("ghost_hits"), s.ghost_hits);
   EXPECT_EQ(value_of("slab_migrations"), s.slab_migrations);
   EXPECT_EQ(value_of("miss_penalty_total_us"), s.miss_penalty_total_us);
+  EXPECT_EQ(value_of("hit_penalty_saved_us"), s.hit_penalty_saved_us);
+}
+
+TEST(StatsRatioTest, ZeroRequestWindowYieldsZeroNotNan) {
+  // An empty window (idle server between two snapshots) must report 0.0
+  // ratios, never a 0/0 NaN that poisons downstream averages.
+  const CacheStats empty;
+  EXPECT_EQ(empty.HitRatio(), 0.0);
+  EXPECT_EQ(empty.AvgServiceTimeUs(50), 0.0);
+
+  // Same via Since(): two identical snapshots diff to an all-zero window.
+  const CacheStats s = MakeStats(7);
+  const CacheStats window = s.Since(s);
+  EXPECT_EQ(window.gets, 0u);
+  EXPECT_EQ(window.HitRatio(), 0.0);
+  EXPECT_EQ(window.AvgServiceTimeUs(50), 0.0);
+}
+
+TEST(StatsMergeTest, EmptyShardIsAdditiveIdentity) {
+  // Merging an idle shard must not perturb any counter — in particular
+  // bytes_stored, which is a gauge and the easiest field to accidentally
+  // double-count or skip when shard merges are written by hand.
+  const CacheStats s = MakeStats(8);
+  CacheStats sum = s;
+  sum += CacheStats{};
+  const StatsSnapshot merged = sum.Snapshot();
+  const StatsSnapshot original = s.Snapshot();
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].value, original[i].value) << merged[i].name;
+  }
+
+  CacheStats other_way;
+  other_way += s;
+  const StatsSnapshot flipped = other_way.Snapshot();
+  for (std::size_t i = 0; i < flipped.size(); ++i) {
+    EXPECT_EQ(flipped[i].value, original[i].value) << flipped[i].name;
+  }
 }
 
 TEST(StatsSnapshotTest, PlusEqualsAndSnapshotAgree) {
